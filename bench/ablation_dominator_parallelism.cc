@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation A: dominator parallelism on/off for tail-duplicated
+ * treegions (global weight, 4U and 8U). Dominator parallelism elides
+ * tail-duplicated ops whose identical twin was already speculated
+ * into a common dominator, reclaiming the issue slots duplication
+ * would otherwise burn (paper Section 4).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace treegion;
+    using sched::Heuristic;
+    using sched::RegionScheme;
+    auto workloads = bench::loadWorkloads();
+
+    for (const int width : {4, 8}) {
+        support::Table table({"program", "dp off", "dp on", "elided",
+                              "gain"});
+        support::GeoMean gm_off, gm_on;
+        for (auto &w : workloads) {
+            auto off = bench::makeOptions(RegionScheme::TreegionTailDup,
+                                          width,
+                                          Heuristic::GlobalWeight);
+            off.sched.dominator_parallelism = false;
+            const double s_off = bench::runSpeedup(w, off);
+
+            auto on = off;
+            on.sched.dominator_parallelism = true;
+            sched::PipelineResult result;
+            const double s_on = bench::runSpeedup(w, on, &result);
+
+            table.addRow(
+                {w.name, support::Table::fmt(s_off),
+                 support::Table::fmt(s_on),
+                 support::Table::fmt(static_cast<long long>(
+                     result.total_sched_stats.elided_ops)),
+                 support::Table::fmt(s_on / s_off)});
+            gm_off.add(s_off);
+            gm_on.add(s_on);
+        }
+        table.addRow({"geomean", support::Table::fmt(gm_off.value()),
+                      support::Table::fmt(gm_on.value()), "-",
+                      support::Table::fmt(gm_on.value() /
+                                          gm_off.value())});
+        bench::emit(table, "Ablation A (" + std::to_string(width) +
+                               "U): dominator parallelism");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation D: the cost of materializing prepare-to-branch (PBR) ops.
+ * The paper's example schedules show PBRs occupying real issue slots
+ * (Play-Doh branches read a branch-target register set up by a PBR);
+ * its performance experiments abstract them away, as does our
+ * default. This ablation quantifies the difference on treegions with
+ * global weight.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace treegion;
+    using sched::Heuristic;
+    using sched::RegionScheme;
+    auto workloads = bench::loadWorkloads();
+
+    for (const int width : {4, 8}) {
+        support::Table table({"program", "no pbr", "with pbr", "cost"});
+        support::GeoMean gm_off, gm_on;
+        for (auto &w : workloads) {
+            auto off = bench::makeOptions(RegionScheme::Treegion, width,
+                                          Heuristic::GlobalWeight);
+            const double s_off = bench::runSpeedup(w, off);
+            auto on = off;
+            on.sched.materialize_pbr = true;
+            const double s_on = bench::runSpeedup(w, on);
+            table.addRow({w.name, support::Table::fmt(s_off),
+                          support::Table::fmt(s_on),
+                          support::Table::fmt(s_on / s_off)});
+            gm_off.add(s_off);
+            gm_on.add(s_on);
+        }
+        table.addRow({"geomean", support::Table::fmt(gm_off.value()),
+                      support::Table::fmt(gm_on.value()),
+                      support::Table::fmt(gm_on.value() /
+                                          gm_off.value())});
+        bench::emit(table, "Ablation D (" + std::to_string(width) +
+                               "U): PBR materialization cost");
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation B — the paper's first future-work item: how do the
+ * heuristics hold up when the profile the scheduler trained on does
+ * not match the inputs the program actually runs?
+ *
+ * Method: schedule treegions with each heuristic using the training
+ * profile (input family A), then re-price every region exit with the
+ * profile of a different input family B. The ratio between the
+ * B-priced time of the A-trained schedule and the B-priced time of a
+ * B-trained schedule measures the heuristic's robustness (1.00 =
+ * fully robust). Dependence height ignores weights entirely, so it is
+ * insensitive by construction; the weight-driven heuristics may
+ * degrade.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace treegion;
+    using sched::Heuristic;
+    using sched::RegionScheme;
+
+    constexpr uint64_t kTrainSeed = 42;
+    // The reference input family draws data from a different range,
+    // shifting every data-dependent branch's probability - a much
+    // stronger perturbation than resampling the same distribution.
+    workloads::ProfileOptions reference_profile;
+    reference_profile.input_seed = 987654;
+    reference_profile.data_max = 55;
+    auto workloads = bench::loadWorkloads(kTrainSeed);
+
+    support::Table table({"program", "dep-height", "exit-count",
+                          "global-weight", "weighted-count"});
+    support::GeoMean gm[4];
+    for (auto &w : workloads) {
+        const size_t mem_words = w.mod->memWords();
+        std::vector<std::string> row = {w.name};
+        int idx = 0;
+        for (const Heuristic h : sched::kAllHeuristics) {
+            // Schedule with the training profile.
+            auto options =
+                bench::makeOptions(RegionScheme::Treegion, 4, h);
+            sched::PipelineResult trained;
+            ir::Function fn_trained("t");
+            bench::runSpeedup(w, options, &trained, &fn_trained);
+            const double mismatched =
+                bench::reweightedTime(fn_trained, trained.schedule,
+                                      mem_words, reference_profile);
+
+            // Oracle: schedule with the reference profile directly.
+            ir::Function fn_oracle = w.fn().clone();
+            workloads::profileFunction(fn_oracle, mem_words,
+                                       reference_profile);
+            const auto oracle = sched::runPipeline(fn_oracle, options);
+
+            const double degradation =
+                mismatched / oracle.estimated_time;
+            row.push_back(support::Table::fmt(degradation, 3));
+            gm[idx++].add(degradation);
+        }
+        table.addRow(std::move(row));
+    }
+    table.addRow({"geomean", support::Table::fmt(gm[0].value(), 3),
+                  support::Table::fmt(gm[1].value(), 3),
+                  support::Table::fmt(gm[2].value(), 3),
+                  support::Table::fmt(gm[3].value(), 3)});
+    bench::emit(table,
+                "Ablation B: schedule priced under a mismatched "
+                "profile (time vs oracle, lower is better)");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation C: sweep the three Fig. 11 tail-duplication limits — the
+ * code expansion limit, the path-count limit, and the sapling
+ * merge-count limit — one at a time around the paper's operating
+ * point (2.0 / 20 / 4), reporting geomean speedup on the 4U machine
+ * and the resulting code expansion.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace treegion;
+    using sched::Heuristic;
+    using sched::RegionScheme;
+    auto workloads = bench::loadWorkloads();
+
+    auto sweep = [&](const std::string &title,
+                     const std::vector<region::TailDupLimits> &points,
+                     auto label) {
+        support::Table table({"setting", "geomean speedup",
+                              "avg expansion"});
+        for (const auto &limits : points) {
+            support::GeoMean gm;
+            support::Accumulator expansion;
+            for (auto &w : workloads) {
+                auto options =
+                    bench::makeOptions(RegionScheme::TreegionTailDup, 4,
+                                       Heuristic::GlobalWeight);
+                options.tail_dup = limits;
+                sched::PipelineResult result;
+                gm.add(bench::runSpeedup(w, options, &result));
+                expansion.add(result.code_expansion);
+            }
+            table.addRow({label(limits),
+                          support::Table::fmt(gm.value()),
+                          support::Table::fmt(expansion.mean())});
+        }
+        bench::emit(table, title);
+    };
+
+    {
+        std::vector<region::TailDupLimits> points;
+        for (const double x : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0}) {
+            region::TailDupLimits limits;
+            limits.expansion_limit = x;
+            points.push_back(limits);
+        }
+        sweep("Ablation C1: code expansion limit (paths 20, merge 4)",
+              points, [](const region::TailDupLimits &l) {
+                  return support::Table::fmt(l.expansion_limit, 1);
+              });
+    }
+    {
+        std::vector<region::TailDupLimits> points;
+        for (const size_t paths : {1u, 2u, 5u, 10u, 20u, 50u}) {
+            region::TailDupLimits limits;
+            limits.path_limit = paths;
+            points.push_back(limits);
+        }
+        sweep("Ablation C2: path count limit (expansion 2.0, merge 4)",
+              points, [](const region::TailDupLimits &l) {
+                  return support::Table::fmt(
+                      static_cast<long long>(l.path_limit));
+              });
+    }
+    {
+        std::vector<region::TailDupLimits> points;
+        for (const size_t merge : {1u, 2u, 4u, 8u, 16u}) {
+            region::TailDupLimits limits;
+            limits.merge_limit = merge;
+            points.push_back(limits);
+        }
+        sweep("Ablation C3: merge count limit (expansion 2.0, paths 20)",
+              points, [](const region::TailDupLimits &l) {
+                  return support::Table::fmt(
+                      static_cast<long long>(l.merge_limit));
+              });
+    }
+    return 0;
+}

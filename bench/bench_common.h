@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared harness for the table/figure reproduction benches: builds
+ * and profiles the SPECint95 proxies, runs pipeline configurations,
+ * and computes the paper's speedup metric (vs. basic-block scheduling
+ * on the single-issue machine).
+ */
+
+#ifndef TREEGION_BENCH_BENCH_COMMON_H
+#define TREEGION_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/pipeline.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "workloads/profiler.h"
+#include "workloads/spec_proxy.h"
+
+namespace treegion::bench {
+
+/** One profiled proxy benchmark ready for experiments. */
+struct Workload
+{
+    std::string name;
+    std::unique_ptr<ir::Module> mod;
+    double baseline_time = 0.0;  ///< BB scheduling on 1U
+
+    ir::Function &fn() { return mod->function("main"); }
+};
+
+/** Build and profile all eight proxies with the training inputs. */
+inline std::vector<Workload>
+loadWorkloads(uint64_t input_seed = 42)
+{
+    std::vector<Workload> workloads;
+    for (const auto &spec : workloads::specint95Proxies()) {
+        Workload w;
+        w.name = spec.name;
+        w.mod = workloads::buildProxy(spec);
+        workloads::ProfileOptions options;
+        options.input_seed = input_seed;
+        workloads::profileFunction(w.fn(), spec.params.mem_words,
+                                   options);
+        w.baseline_time = sched::estimateBaselineTime(w.fn());
+        workloads.push_back(std::move(w));
+    }
+    return workloads;
+}
+
+/**
+ * Run one configuration on a clone of @p w and return the speedup
+ * over the 1U basic-block baseline (the paper's metric).
+ */
+inline double
+runSpeedup(Workload &w, const sched::PipelineOptions &options,
+           sched::PipelineResult *result_out = nullptr,
+           ir::Function *fn_out = nullptr)
+{
+    ir::Function fn = w.fn().clone();
+    auto result = sched::runPipeline(fn, options);
+    const double speedup = w.baseline_time / result.estimated_time;
+    if (result_out)
+        *result_out = std::move(result);
+    if (fn_out)
+        *fn_out = std::move(fn);
+    return speedup;
+}
+
+/** Shorthand option constructors. */
+inline sched::PipelineOptions
+makeOptions(sched::RegionScheme scheme, int width,
+            sched::Heuristic heuristic = sched::Heuristic::GlobalWeight)
+{
+    sched::PipelineOptions options;
+    options.scheme = scheme;
+    options.model = sched::MachineModel::custom(width);
+    options.sched.heuristic = heuristic;
+    return options;
+}
+
+/**
+ * Re-evaluate a schedule under a different input family's profile:
+ * re-profiles the transformed function with @p input_seed and prices
+ * every exit with the fresh edge weights (the paper's "profile
+ * variation" future-work experiment).
+ */
+inline double
+reweightedTime(ir::Function &transformed,
+               const sched::FunctionSchedule &schedule, size_t mem_words,
+               const workloads::ProfileOptions &options)
+{
+    workloads::profileFunction(transformed, mem_words, options);
+    double time = 0.0;
+    for (const auto &[root, rs] : schedule.regions) {
+        for (const sched::ScheduledExit &exit : rs.exits) {
+            double w = 0.0;
+            if (exit.is_ret) {
+                w = transformed.block(exit.from).weight();
+            } else {
+                const auto &weights =
+                    transformed.block(exit.from).edgeWeights();
+                if (exit.target_slot < weights.size())
+                    w = weights[exit.target_slot];
+            }
+            time += w * static_cast<double>(exit.cycle + 1);
+        }
+    }
+    return time;
+}
+
+/** Print a table plus a blank line. */
+inline void
+emit(const support::Table &table, const std::string &title)
+{
+    std::cout << "== " << title << "\n";
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace treegion::bench
+
+#endif // TREEGION_BENCH_BENCH_COMMON_H

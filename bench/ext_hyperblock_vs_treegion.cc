@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Extension experiment — the comparison the paper announces as future
+ * work ("We also plan to compare the tradeoffs between hyperblocks
+ * and treegions directly and to evaluate the merits of predication
+ * versus speculation"): hyperblocks (if-conversion: merges join via
+ * predication, zero code growth) versus tail-duplicated treegions
+ * (merges join via duplication) versus superblocks, with global
+ * weight on the 4U and 8U machines, plus the code-size column that
+ * frames the tradeoff.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace treegion;
+    using sched::Heuristic;
+    using sched::RegionScheme;
+    auto workloads = bench::loadWorkloads();
+
+    for (const int width : {4, 8}) {
+        support::Table table({"program", "sb", "tree-td", "hyper",
+                              "hyper/td", "td expn", "hyper expn"});
+        support::GeoMean gm_sb, gm_td, gm_hb;
+        for (auto &w : workloads) {
+            const double sb = bench::runSpeedup(
+                w, bench::makeOptions(RegionScheme::Superblock, width,
+                                      Heuristic::GlobalWeight));
+            sched::PipelineResult td_result;
+            const double td = bench::runSpeedup(
+                w,
+                bench::makeOptions(RegionScheme::TreegionTailDup, width,
+                                   Heuristic::GlobalWeight),
+                &td_result);
+            sched::PipelineResult hb_result;
+            const double hb = bench::runSpeedup(
+                w, bench::makeOptions(RegionScheme::Hyperblock, width,
+                                      Heuristic::GlobalWeight),
+                &hb_result);
+            table.addRow({w.name, support::Table::fmt(sb),
+                          support::Table::fmt(td),
+                          support::Table::fmt(hb),
+                          support::Table::fmt(hb / td),
+                          support::Table::fmt(td_result.code_expansion),
+                          support::Table::fmt(
+                              hb_result.code_expansion)});
+            gm_sb.add(sb);
+            gm_td.add(td);
+            gm_hb.add(hb);
+        }
+        table.addRow({"geomean", support::Table::fmt(gm_sb.value()),
+                      support::Table::fmt(gm_td.value()),
+                      support::Table::fmt(gm_hb.value()),
+                      support::Table::fmt(gm_hb.value() /
+                                          gm_td.value()),
+                      "-", "-"});
+        bench::emit(table,
+                    "Extension (" + std::to_string(width) +
+                        "U): hyperblocks vs tail-duplicated treegions");
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Figure 13: global-weight treegion scheduling with tail
+ * duplication (expansion limits 2.0 and 3.0, merge limit 4, path
+ * limit 20, dominator parallelism on) versus superblock scheduling,
+ * on the 4U and 8U machines.
+ *
+ * Paper shape: tail-duplicated treegions beat superblocks — by ~15%
+ * at expansion 2.0 and ~20% at 3.0 — because the treegion completes
+ * the off-trace paths inside the region that the superblock must
+ * re-enter separately.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace treegion;
+    using sched::Heuristic;
+    using sched::RegionScheme;
+    auto workloads = bench::loadWorkloads();
+
+    for (const int width : {4, 8}) {
+        support::Table table({"program", "sb", "tree (2.0)",
+                              "tree (3.0)", "t2/sb", "t3/sb"});
+        support::GeoMean gm_sb, gm_t2, gm_t3;
+        for (auto &w : workloads) {
+            const double sb = bench::runSpeedup(
+                w, bench::makeOptions(RegionScheme::Superblock, width,
+                                      Heuristic::GlobalWeight));
+
+            auto opt2 = bench::makeOptions(
+                RegionScheme::TreegionTailDup, width,
+                Heuristic::GlobalWeight);
+            opt2.tail_dup.expansion_limit = 2.0;
+            const double t2 = bench::runSpeedup(w, opt2);
+
+            auto opt3 = opt2;
+            opt3.tail_dup.expansion_limit = 3.0;
+            const double t3 = bench::runSpeedup(w, opt3);
+
+            table.addRow({w.name, support::Table::fmt(sb),
+                          support::Table::fmt(t2),
+                          support::Table::fmt(t3),
+                          support::Table::fmt(t2 / sb),
+                          support::Table::fmt(t3 / sb)});
+            gm_sb.add(sb);
+            gm_t2.add(t2);
+            gm_t3.add(t3);
+        }
+        table.addRow(
+            {"geomean", support::Table::fmt(gm_sb.value()),
+             support::Table::fmt(gm_t2.value()),
+             support::Table::fmt(gm_t3.value()),
+             support::Table::fmt(gm_t2.value() / gm_sb.value()),
+             support::Table::fmt(gm_t3.value() / gm_sb.value())});
+        bench::emit(table,
+                    "Figure 13 (" + std::to_string(width) +
+                        "U): tail-duplicated treegions vs superblocks");
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Figure 8: the four treegion scheduling heuristics
+ * (dependence height, exit count, global weight, weighted count) on
+ * the 4U and 8U machines, for treegions without tail duplication.
+ *
+ * Paper shape: global weight is the best overall (about +3% over
+ * dependence height on 4U, +1% on 8U); exit count is the worst and
+ * notably poor on gcc and perl, whose hot multiway branches have many
+ * zero-weight destinations that the helped-count proxy mistakes for
+ * important ones; weighted count tracks global weight except where
+ * treegion weights tie (vortex's linearized validation chains).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace treegion;
+    using sched::Heuristic;
+    using sched::RegionScheme;
+    auto workloads = bench::loadWorkloads();
+
+    for (const int width : {4, 8}) {
+        support::Table table({"program", "dep-height", "exit-count",
+                              "global-weight", "weighted-count"});
+        support::GeoMean gm[4];
+        for (auto &w : workloads) {
+            std::vector<std::string> row = {w.name};
+            int idx = 0;
+            for (const Heuristic h : sched::kAllHeuristics) {
+                const double speedup = bench::runSpeedup(
+                    w,
+                    bench::makeOptions(RegionScheme::Treegion, width,
+                                       h));
+                row.push_back(support::Table::fmt(speedup));
+                gm[idx++].add(speedup);
+            }
+            table.addRow(std::move(row));
+        }
+        table.addRow({"geomean", support::Table::fmt(gm[0].value()),
+                      support::Table::fmt(gm[1].value()),
+                      support::Table::fmt(gm[2].value()),
+                      support::Table::fmt(gm[3].value())});
+        bench::emit(table, "Figure 8 (" + std::to_string(width) +
+                               "U): treegion scheduling heuristics");
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Table 2: simple linear region (SLR) statistics across
+ * the SPECint95 proxies.
+ *
+ * Paper values for reference: avg #bb 1.20-1.44, max #bb 3-54,
+ * avg #ops 8.98-12.71. The point of Tables 1+2 together: a treegion
+ * hands the scheduler several times more ops (and more paths) than an
+ * SLR.
+ */
+
+#include "bench_common.h"
+
+#include "region/formation.h"
+#include "region/region_stats.h"
+
+int
+main()
+{
+    using namespace treegion;
+    auto workloads = bench::loadWorkloads();
+
+    support::Table table(
+        {"program", "avg # bb", "max # bb", "avg # ops"});
+    support::Accumulator avg_bb, avg_ops;
+    for (auto &w : workloads) {
+        ir::Function fn = w.fn().clone();
+        const auto set = region::formSlrs(fn);
+        const auto stats = region::computeRegionStats(fn, set);
+        table.addRow({w.name, support::Table::fmt(stats.avg_blocks),
+                      support::Table::fmt(
+                          static_cast<long long>(stats.max_blocks)),
+                      support::Table::fmt(stats.avg_ops)});
+        avg_bb.add(stats.avg_blocks);
+        avg_ops.add(stats.avg_ops);
+    }
+    table.addRow({"average", support::Table::fmt(avg_bb.mean()), "-",
+                  support::Table::fmt(avg_ops.mean())});
+    bench::emit(table, "Table 2: SLR statistics");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Table 3: code expansion factors for superblock
+ * formation and treegion formation with tail duplication at code
+ * expansion limits 2.0 and 3.0 (merge-count limit 4, path limit 20).
+ *
+ * Paper values for reference: sb 1.07-1.26 (avg 1.18), tree(2.0)
+ * 1.26-1.37 (avg 1.32), tree(3.0) 1.31-1.62 (avg 1.44). Shape:
+ * treegions expand more than superblocks (duplication happens along
+ * several paths), and the 3.0 limit expands more than 2.0, but both
+ * stay moderate.
+ */
+
+#include "bench_common.h"
+
+#include "region/formation.h"
+#include "region/region_stats.h"
+
+int
+main()
+{
+    using namespace treegion;
+    auto workloads = bench::loadWorkloads();
+
+    support::Table table({"program", "sb", "tree (2.0)", "tree (3.0)"});
+    support::Accumulator a_sb, a_t2, a_t3;
+    for (auto &w : workloads) {
+        const size_t original = w.fn().totalOps();
+
+        ir::Function fsb = w.fn().clone();
+        region::formSuperblocks(fsb, {});
+        const double x_sb = region::codeExpansionFactor(fsb, original);
+
+        ir::Function f2 = w.fn().clone();
+        region::TailDupLimits lim2;
+        lim2.expansion_limit = 2.0;
+        region::formTreegionsTailDup(f2, lim2);
+        const double x_t2 = region::codeExpansionFactor(f2, original);
+
+        ir::Function f3 = w.fn().clone();
+        region::TailDupLimits lim3;
+        lim3.expansion_limit = 3.0;
+        region::formTreegionsTailDup(f3, lim3);
+        const double x_t3 = region::codeExpansionFactor(f3, original);
+
+        table.addRow({w.name, support::Table::fmt(x_sb),
+                      support::Table::fmt(x_t2),
+                      support::Table::fmt(x_t3)});
+        a_sb.add(x_sb);
+        a_t2.add(x_t2);
+        a_t3.add(x_t3);
+    }
+    table.addRow({"average", support::Table::fmt(a_sb.mean()),
+                  support::Table::fmt(a_t2.mean()),
+                  support::Table::fmt(a_t3.mean())});
+    bench::emit(table, "Table 3: code expansion statistics");
+    return 0;
+}

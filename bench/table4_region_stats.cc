@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table 4: superblock versus tail-duplicated treegion
+ * (expansion limit 2.0) characteristics — region count, average
+ * basic blocks per region, and average ops per region.
+ *
+ * Paper shape: treegions are fewer but larger for most programs
+ * (more blocks and more ops per region), since they cover several
+ * paths at once.
+ */
+
+#include "bench_common.h"
+
+#include "region/formation.h"
+#include "region/region_stats.h"
+
+int
+main()
+{
+    using namespace treegion;
+    auto workloads = bench::loadWorkloads();
+
+    support::Table table({"program", "# sb", "# tree", "avg bb sb",
+                          "avg bb tree", "avg ops sb",
+                          "avg ops tree"});
+    for (auto &w : workloads) {
+        ir::Function fsb = w.fn().clone();
+        const auto sb_stats = region::computeRegionStats(
+            fsb, region::formSuperblocks(fsb, {}));
+
+        ir::Function ftd = w.fn().clone();
+        region::TailDupLimits limits;
+        limits.expansion_limit = 2.0;
+        const auto td_stats = region::computeRegionStats(
+            ftd, region::formTreegionsTailDup(ftd, limits));
+
+        table.addRow(
+            {w.name,
+             support::Table::fmt(
+                 static_cast<long long>(sb_stats.num_regions)),
+             support::Table::fmt(
+                 static_cast<long long>(td_stats.num_regions)),
+             support::Table::fmt(sb_stats.avg_blocks),
+             support::Table::fmt(td_stats.avg_blocks),
+             support::Table::fmt(sb_stats.avg_ops),
+             support::Table::fmt(td_stats.avg_ops)});
+    }
+    bench::emit(table,
+                "Table 4: superblock vs treegion (2.0) statistics");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Compile-time cost of the compiler itself (google-benchmark):
+ * region formation and scheduling throughput per scheme on the gcc
+ * proxy, plus the end-to-end pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/liveness.h"
+#include "region/formation.h"
+#include "sched/pipeline.h"
+#include "workloads/profiler.h"
+#include "workloads/spec_proxy.h"
+
+namespace {
+
+using namespace treegion;
+
+/** The profiled gcc proxy, built once. */
+ir::Function &
+gccProxy()
+{
+    static std::unique_ptr<ir::Module> mod = [] {
+        const auto proxies = workloads::specint95Proxies();
+        auto m = workloads::buildProxy(proxies[1]);
+        workloads::profileFunction(m->function("main"),
+                                   proxies[1].params.mem_words);
+        return m;
+    }();
+    return mod->function("main");
+}
+
+void
+BM_FormTreegions(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ir::Function fn = gccProxy().clone();
+        benchmark::DoNotOptimize(region::formTreegions(fn));
+    }
+}
+BENCHMARK(BM_FormTreegions);
+
+void
+BM_FormTreegionsTailDup(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ir::Function fn = gccProxy().clone();
+        benchmark::DoNotOptimize(
+            region::formTreegionsTailDup(fn, {}));
+    }
+}
+BENCHMARK(BM_FormTreegionsTailDup);
+
+void
+BM_FormSuperblocks(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ir::Function fn = gccProxy().clone();
+        benchmark::DoNotOptimize(region::formSuperblocks(fn, {}));
+    }
+}
+BENCHMARK(BM_FormSuperblocks);
+
+void
+BM_Liveness(benchmark::State &state)
+{
+    ir::Function fn = gccProxy().clone();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(analysis::Liveness(fn));
+}
+BENCHMARK(BM_Liveness);
+
+void
+BM_PipelineScheme(benchmark::State &state)
+{
+    const auto scheme = static_cast<sched::RegionScheme>(state.range(0));
+    for (auto _ : state) {
+        ir::Function fn = gccProxy().clone();
+        sched::PipelineOptions options;
+        options.scheme = scheme;
+        options.model = sched::MachineModel::wide4U();
+        benchmark::DoNotOptimize(sched::runPipeline(fn, options));
+    }
+}
+BENCHMARK(BM_PipelineScheme)
+    ->Arg(static_cast<int>(sched::RegionScheme::BasicBlock))
+    ->Arg(static_cast<int>(sched::RegionScheme::Slr))
+    ->Arg(static_cast<int>(sched::RegionScheme::Superblock))
+    ->Arg(static_cast<int>(sched::RegionScheme::Treegion))
+    ->Arg(static_cast<int>(sched::RegionScheme::TreegionTailDup));
+
+void
+BM_Profile20Runs(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ir::Function fn = gccProxy().clone();
+        benchmark::DoNotOptimize(
+            workloads::profileFunction(fn, 4096));
+    }
+}
+BENCHMARK(BM_Profile20Runs);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Heuristic tour: generates a switch-heavy program (the shape that
+ * exposed the exit-count heuristic's flaw in gcc and perl), profiles
+ * it, and compares the four treegion scheduling heuristics on the 4U
+ * and 8U machines.
+ *
+ *   $ ./heuristic_tour [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "sched/pipeline.h"
+#include "support/table.h"
+#include "workloads/profiler.h"
+#include "workloads/synthetic.h"
+
+using namespace treegion;
+
+int
+main(int argc, char **argv)
+{
+    workloads::GenParams params;
+    params.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+    params.top_units = 20;
+    params.p_switch = 0.25;
+    params.switch_width_min = 8;
+    params.switch_width_max = 24;
+    params.mem_words = 4096;
+
+    auto mod = workloads::generateProgram("tour", params);
+    ir::Function &fn = mod->function("main");
+    const auto profile =
+        workloads::profileFunction(fn, params.mem_words);
+    std::printf("generated %zu blocks, %zu ops; profiled %d runs "
+                "(%llu dynamic ops)\n\n",
+                fn.blockIds().size(), fn.totalOps(),
+                profile.completed_runs,
+                static_cast<unsigned long long>(profile.total_ops));
+
+    const double baseline = sched::estimateBaselineTime(fn);
+
+    support::Table table({"heuristic", "4U speedup", "8U speedup"});
+    for (const auto heuristic : sched::kAllHeuristics) {
+        std::vector<std::string> row = {
+            sched::heuristicName(heuristic)};
+        for (const int width : {4, 8}) {
+            ir::Function clone = fn.clone();
+            sched::PipelineOptions options;
+            options.scheme = sched::RegionScheme::Treegion;
+            options.model = sched::MachineModel::custom(width);
+            options.sched.heuristic = heuristic;
+            const auto result = sched::runPipeline(clone, options);
+            row.push_back(support::Table::fmt(
+                baseline / result.estimated_time));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::printf("\nSpeedups are over basic-block scheduling on the "
+                "1-issue machine (the paper's metric).\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Dominator tree construction (Cooper-Harvey-Kennedy).
+ *
+ * Inside a treegion every block dominates its subtree by construction;
+ * the full CFG dominator tree is used by the verifier-level sanity
+ * checks, by tests, and to reason about dominator parallelism across
+ * region boundaries.
+ */
+
+#ifndef TREEGION_ANALYSIS_DOMINATORS_H
+#define TREEGION_ANALYSIS_DOMINATORS_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace treegion::analysis {
+
+/** Immediate-dominator tree for one function. */
+class DominatorTree
+{
+  public:
+    /** Build the tree for @p fn (reachable blocks only). */
+    explicit DominatorTree(ir::Function &fn);
+
+    /**
+     * @return the immediate dominator of @p id, or ir::kNoBlock for
+     * the entry (and for unreachable blocks)
+     */
+    ir::BlockId idom(ir::BlockId id) const;
+
+    /** @return true when @p a dominates @p b (reflexive). */
+    bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+    /** @return blocks whose immediate dominator is @p id. */
+    std::vector<ir::BlockId> children(ir::BlockId id) const;
+
+    /** @return reverse postorder of reachable blocks. */
+    const std::vector<ir::BlockId> &reversePostorder() const {
+        return rpo_;
+    }
+
+    /** @return true if @p id is reachable from the entry. */
+    bool reachable(ir::BlockId id) const;
+
+  private:
+    std::unordered_map<ir::BlockId, ir::BlockId> idom_;
+    std::unordered_map<ir::BlockId, size_t> rpo_index_;
+    std::vector<ir::BlockId> rpo_;
+};
+
+/** Compute the reverse postorder of reachable blocks of @p fn. */
+std::vector<ir::BlockId> reversePostorder(const ir::Function &fn);
+
+} // namespace treegion::analysis
+
+#endif // TREEGION_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,96 @@
+#include "analysis/liveness.h"
+
+#include "support/logging.h"
+
+namespace treegion::analysis {
+
+using ir::BlockId;
+using support::BitVector;
+
+Liveness::Liveness(ir::Function &fn)
+    : num_gprs_(fn.numGprs()),
+      num_preds_(fn.numPreds()),
+      num_regs_(static_cast<size_t>(num_gprs_) + num_preds_)
+{
+    // use[b]: read before any write in b; def[b]: written in b.
+    std::unordered_map<BlockId, BitVector> use, def;
+    const auto ids = fn.blockIds();
+    for (const BlockId id : ids) {
+        BitVector u(num_regs_), d(num_regs_);
+        for (const ir::Op &op : fn.block(id).ops()) {
+            for (const ir::Reg r : op.usedRegs()) {
+                if (r.cls == ir::RegClass::Btr)
+                    continue;
+                const size_t idx = regIndex(r);
+                if (!d.test(idx))
+                    u.set(idx);
+            }
+            for (const ir::Reg r : op.dsts) {
+                if (r.cls == ir::RegClass::Btr)
+                    continue;
+                d.set(regIndex(r));
+            }
+        }
+        use.emplace(id, std::move(u));
+        def.emplace(id, std::move(d));
+        live_in_.emplace(id, BitVector(num_regs_));
+        live_out_.emplace(id, BitVector(num_regs_));
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate in reverse id order as a cheap approximation of
+        // reverse program order; the fixpoint is order-insensitive.
+        for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+            const BlockId id = *it;
+            BitVector &out = live_out_.at(id);
+            for (const BlockId succ : fn.block(id).successors()) {
+                if (succ != ir::kNoBlock)
+                    changed |= out.unionWith(live_in_.at(succ));
+            }
+            BitVector in = out;
+            in.subtract(def.at(id));
+            in.unionWith(use.at(id));
+            if (!(in == live_in_.at(id))) {
+                live_in_.at(id) = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+size_t
+Liveness::regIndex(ir::Reg r) const
+{
+    switch (r.cls) {
+      case ir::RegClass::Gpr:
+        TG_ASSERT(r.idx < num_gprs_);
+        return r.idx;
+      case ir::RegClass::Pred:
+        TG_ASSERT(r.idx < num_preds_);
+        return num_gprs_ + r.idx;
+      default:
+        TG_PANIC("BTRs are not tracked by liveness");
+    }
+}
+
+bool
+Liveness::liveIn(BlockId id, ir::Reg r) const
+{
+    return live_in_.at(id).test(regIndex(r));
+}
+
+bool
+Liveness::liveOut(BlockId id, ir::Reg r) const
+{
+    return live_out_.at(id).test(regIndex(r));
+}
+
+const BitVector &
+Liveness::liveInSet(BlockId id) const
+{
+    return live_in_.at(id);
+}
+
+} // namespace treegion::analysis

@@ -1,0 +1,68 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+
+#include "analysis/dominators.h"
+#include "support/logging.h"
+
+namespace treegion::analysis {
+
+using ir::BlockId;
+using ir::kNoBlock;
+
+LoopInfo::LoopInfo(ir::Function &fn)
+{
+    DominatorTree dom(fn);
+
+    // A back edge is an edge whose target dominates its source.
+    for (const BlockId id : dom.reversePostorder()) {
+        for (const BlockId succ : fn.block(id).successors()) {
+            if (succ != kNoBlock && dom.dominates(succ, id))
+                back_edges_.emplace_back(id, succ);
+        }
+    }
+
+    // Group back edges by header and flood the loop body backwards
+    // from each latch up to the header.
+    std::vector<BlockId> headers;
+    for (const auto &[latch, header] : back_edges_) {
+        if (std::find(headers.begin(), headers.end(), header) ==
+            headers.end()) {
+            headers.push_back(header);
+        }
+    }
+    for (const BlockId header : headers) {
+        Loop loop;
+        loop.header = header;
+        loop.blocks.insert(header);
+        for (const auto &[latch, h] : back_edges_) {
+            if (h != header)
+                continue;
+            loop.latches.push_back(latch);
+            std::vector<BlockId> work = {latch};
+            while (!work.empty()) {
+                const BlockId id = work.back();
+                work.pop_back();
+                if (!loop.blocks.insert(id).second)
+                    continue;
+                for (const BlockId pred : fn.predsOf(id)) {
+                    if (dom.reachable(pred))
+                        work.push_back(pred);
+                }
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+}
+
+bool
+LoopInfo::isHeader(BlockId id) const
+{
+    for (const Loop &loop : loops_) {
+        if (loop.header == id)
+            return true;
+    }
+    return false;
+}
+
+} // namespace treegion::analysis

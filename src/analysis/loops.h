@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Back-edge and natural-loop detection.
+ *
+ * Treegions are acyclic by construction (every reachable cycle header
+ * is a merge point, and merge points delimit treegions), but loop
+ * information is used by the workload generators for statistics, by
+ * tests for the acyclicity property, and by the profiler's sanity
+ * checks.
+ */
+
+#ifndef TREEGION_ANALYSIS_LOOPS_H
+#define TREEGION_ANALYSIS_LOOPS_H
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace treegion::analysis {
+
+/** One natural loop. */
+struct Loop
+{
+    ir::BlockId header;                       ///< loop header block
+    std::vector<ir::BlockId> latches;         ///< back-edge sources
+    std::unordered_set<ir::BlockId> blocks;   ///< all member blocks
+};
+
+/** Loop structure of one function. */
+class LoopInfo
+{
+  public:
+    /** Analyze @p fn. */
+    explicit LoopInfo(ir::Function &fn);
+
+    /** @return (source, header) pairs for every back edge. */
+    const std::vector<std::pair<ir::BlockId, ir::BlockId>> &
+    backEdges() const
+    {
+        return back_edges_;
+    }
+
+    /** @return detected natural loops (one per header). */
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** @return true when @p id is a loop header. */
+    bool isHeader(ir::BlockId id) const;
+
+  private:
+    std::vector<std::pair<ir::BlockId, ir::BlockId>> back_edges_;
+    std::vector<Loop> loops_;
+};
+
+} // namespace treegion::analysis
+
+#endif // TREEGION_ANALYSIS_LOOPS_H

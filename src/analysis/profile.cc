@@ -1,0 +1,99 @@
+#include "analysis/profile.h"
+
+#include <cmath>
+
+#include "support/string_utils.h"
+
+namespace treegion::analysis {
+
+using ir::BasicBlock;
+using ir::BlockId;
+
+void
+applyUniformProfile(ir::Function &fn, double weight)
+{
+    fn.forEachBlockMut([&](BasicBlock &b) {
+        b.setWeight(weight);
+        const size_t n = b.successors().size();
+        b.edgeWeights().assign(n, n ? weight / static_cast<double>(n)
+                                    : 0.0);
+    });
+}
+
+void
+clearProfile(ir::Function &fn)
+{
+    fn.forEachBlockMut([&](BasicBlock &b) {
+        b.setWeight(0.0);
+        b.edgeWeights().assign(b.successors().size(), 0.0);
+    });
+}
+
+void
+scaleProfile(ir::Function &fn, double factor)
+{
+    fn.forEachBlockMut([&](BasicBlock &b) {
+        b.setWeight(b.weight() * factor);
+        for (double &w : b.edgeWeights())
+            w *= factor;
+    });
+}
+
+std::vector<std::string>
+checkProfileConsistency(ir::Function &fn, double tolerance)
+{
+    std::vector<std::string> problems;
+
+    // Outgoing flow: edge weights sum to the block weight (RET blocks
+    // have no outgoing edges).
+    fn.forEachBlock([&](const BasicBlock &b) {
+        if (b.edgeWeights().empty())
+            return;
+        double out = 0.0;
+        for (double w : b.edgeWeights())
+            out += w;
+        if (std::abs(out - b.weight()) >
+            tolerance * std::max(1.0, b.weight())) {
+            problems.push_back(support::strprintf(
+                "bb%u: outgoing edge weight %.6g != block weight %.6g",
+                b.id(), out, b.weight()));
+        }
+    });
+
+    // Incoming flow: sum of incoming edge weights equals the block
+    // weight (entry gets one free unit of inflow per program run, so
+    // it is exempt).
+    std::unordered_map<BlockId, double> inflow;
+    fn.forEachBlock([&](const BasicBlock &b) {
+        const auto succs = b.successors();
+        for (size_t i = 0; i < succs.size() &&
+                           i < b.edgeWeights().size(); ++i) {
+            if (succs[i] != ir::kNoBlock)
+                inflow[succs[i]] += b.edgeWeights()[i];
+        }
+    });
+    fn.forEachBlock([&](const BasicBlock &b) {
+        if (b.id() == fn.entry())
+            return;
+        const double in = inflow.count(b.id()) ? inflow.at(b.id()) : 0.0;
+        if (std::abs(in - b.weight()) >
+            tolerance * std::max(1.0, b.weight())) {
+            problems.push_back(support::strprintf(
+                "bb%u: incoming edge weight %.6g != block weight %.6g",
+                b.id(), in, b.weight()));
+        }
+    });
+    return problems;
+}
+
+double
+weightedOpCount(const ir::Function &fn)
+{
+    double total = 0.0;
+    fn.forEachBlock([&](const BasicBlock &b) {
+        total += b.weight() * static_cast<double>(b.ops().size());
+    });
+    return total;
+}
+
+} // namespace treegion::analysis

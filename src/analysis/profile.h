@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Profile-weight utilities.
+ *
+ * Execution counts live directly on BasicBlock (block weight plus
+ * per-successor edge weights). These helpers install synthetic
+ * profiles, validate flow conservation, and scale/clear profiles.
+ * Real profiles are collected by workloads::Profiler, which executes
+ * the sequential program in the simulator.
+ */
+
+#ifndef TREEGION_ANALYSIS_PROFILE_H
+#define TREEGION_ANALYSIS_PROFILE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace treegion::analysis {
+
+/** Set every block weight to @p weight and split edges uniformly. */
+void applyUniformProfile(ir::Function &fn, double weight = 1.0);
+
+/** Zero all block and edge weights. */
+void clearProfile(ir::Function &fn);
+
+/** Multiply all block and edge weights by @p factor. */
+void scaleProfile(ir::Function &fn, double factor);
+
+/**
+ * Check flow conservation: each block's edge weights sum to its
+ * weight, and (except for the entry) incoming edge weight equals the
+ * block weight, within @p tolerance.
+ *
+ * @return problems found (empty when consistent)
+ */
+std::vector<std::string> checkProfileConsistency(ir::Function &fn,
+                                                 double tolerance = 1e-6);
+
+/** Total profile-weighted op count (used by code expansion stats). */
+double weightedOpCount(const ir::Function &fn);
+
+} // namespace treegion::analysis
+
+#endif // TREEGION_ANALYSIS_PROFILE_H

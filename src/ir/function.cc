@@ -1,0 +1,254 @@
+#include "ir/function.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace treegion::ir {
+
+Function::Function(std::string name)
+    : name_(std::move(name))
+{
+}
+
+BlockId
+Function::createBlock()
+{
+    const BlockId id = static_cast<BlockId>(blocks_.size());
+    blocks_.push_back(std::make_unique<BasicBlock>(id));
+    blocks_.back()->original_id_ = id;
+    preds_valid_ = false;
+    return id;
+}
+
+BlockId
+Function::cloneBlock(BlockId src)
+{
+    const BlockId id = createBlock();
+    BasicBlock &dst_block = *blocks_[id];
+    const BasicBlock &src_block = block(src);
+    dst_block.weight_ = 0.0;
+    for (const Op &op : src_block.ops()) {
+        Op clone = op;
+        clone.id = freshOpId();
+        clone.home = id;
+        // Link clone and original through a shared duplication group
+        // so the scheduler can detect dominator parallelism.
+        if (op.dupGroup == 0) {
+            const uint32_t group = freshDupGroup();
+            // Patch the original op as well.
+            for (Op &orig : blocks_[src]->ops()) {
+                if (orig.id == op.id) {
+                    orig.dupGroup = group;
+                    break;
+                }
+            }
+            clone.dupGroup = group;
+        }
+        dst_block.ops_.push_back(std::move(clone));
+    }
+    dst_block.edge_weights_ = src_block.edge_weights_;
+    dst_block.original_id_ = src_block.original_id_;
+    preds_valid_ = false;
+    return id;
+}
+
+BasicBlock &
+Function::block(BlockId id)
+{
+    TG_ASSERT(hasBlock(id));
+    return *blocks_[id];
+}
+
+const BasicBlock &
+Function::block(BlockId id) const
+{
+    TG_ASSERT(id < blocks_.size() && blocks_[id]);
+    return *blocks_[id];
+}
+
+bool
+Function::hasBlock(BlockId id) const
+{
+    return id < blocks_.size() && blocks_[id] != nullptr;
+}
+
+std::vector<BlockId>
+Function::blockIds() const
+{
+    std::vector<BlockId> ids;
+    ids.reserve(blocks_.size());
+    for (const auto &b : blocks_) {
+        if (b)
+            ids.push_back(b->id());
+    }
+    return ids;
+}
+
+void
+Function::setEntry(BlockId id)
+{
+    TG_ASSERT(hasBlock(id));
+    entry_ = id;
+}
+
+Op &
+Function::appendOp(BlockId id, Op op)
+{
+    BasicBlock &b = block(id);
+    TG_ASSERT(!b.hasTerminator());
+    TG_ASSERT(!op.isBranch());
+    op.id = freshOpId();
+    op.home = id;
+    b.ops_.push_back(std::move(op));
+    return b.ops_.back();
+}
+
+Op &
+Function::appendTerminator(BlockId id, Op op)
+{
+    BasicBlock &b = block(id);
+    TG_ASSERT(!b.hasTerminator());
+    TG_ASSERT(op.isBranch());
+    op.id = freshOpId();
+    op.home = id;
+    b.ops_.push_back(std::move(op));
+    preds_valid_ = false;
+    return b.ops_.back();
+}
+
+void
+Function::replaceTerminator(BlockId id, Op op)
+{
+    BasicBlock &b = block(id);
+    TG_ASSERT(b.hasTerminator());
+    TG_ASSERT(op.isBranch());
+    op.id = freshOpId();
+    op.home = id;
+    b.ops_.back() = std::move(op);
+    b.edge_weights_.clear();
+    preds_valid_ = false;
+}
+
+void
+Function::retargetEdge(BlockId from, BlockId old_to, BlockId new_to)
+{
+    BasicBlock &b = block(from);
+    Op &term = b.terminator();
+    auto it = std::find(term.targets.begin(), term.targets.end(), old_to);
+    TG_ASSERT(it != term.targets.end());
+    *it = new_to;
+    preds_valid_ = false;
+}
+
+void
+Function::removeBlock(BlockId id)
+{
+    TG_ASSERT(hasBlock(id));
+    TG_ASSERT(predsOf(id).empty());
+    TG_ASSERT(id != entry_);
+    blocks_[id].reset();
+    preds_valid_ = false;
+}
+
+std::vector<BlockId>
+Function::removeUnreachableBlocks()
+{
+    std::vector<bool> reachable(blocks_.size(), false);
+    std::vector<BlockId> stack = {entry_};
+    while (!stack.empty()) {
+        const BlockId id = stack.back();
+        stack.pop_back();
+        if (id >= blocks_.size() || !blocks_[id] || reachable[id])
+            continue;
+        reachable[id] = true;
+        for (const BlockId succ : blocks_[id]->successors()) {
+            if (succ != kNoBlock)
+                stack.push_back(succ);
+        }
+    }
+    std::vector<BlockId> removed;
+    for (BlockId id = 0; id < blocks_.size(); ++id) {
+        if (blocks_[id] && !reachable[id]) {
+            blocks_[id].reset();
+            removed.push_back(id);
+        }
+    }
+    if (!removed.empty())
+        preds_valid_ = false;
+    return removed;
+}
+
+Function
+Function::clone() const
+{
+    Function copy(name_);
+    copy.blocks_.reserve(blocks_.size());
+    for (const auto &b : blocks_) {
+        if (!b) {
+            copy.blocks_.push_back(nullptr);
+            continue;
+        }
+        auto nb = std::make_unique<BasicBlock>(b->id());
+        *nb = *b;
+        copy.blocks_.push_back(std::move(nb));
+    }
+    copy.entry_ = entry_;
+    copy.preds_valid_ = false;
+    copy.next_gpr_ = next_gpr_;
+    copy.next_pred_ = next_pred_;
+    copy.next_btr_ = next_btr_;
+    copy.next_op_id_ = next_op_id_;
+    copy.next_dup_group_ = next_dup_group_;
+    return copy;
+}
+
+const std::vector<BlockId> &
+Function::predsOf(BlockId id)
+{
+    if (!preds_valid_)
+        rebuildPreds();
+    return block(id).preds_;
+}
+
+bool
+Function::isMergePoint(BlockId id)
+{
+    return predsOf(id).size() > 1;
+}
+
+void
+Function::reserveRegs(uint32_t gprs, uint32_t preds, uint32_t btrs)
+{
+    next_gpr_ = std::max(next_gpr_, gprs);
+    next_pred_ = std::max(next_pred_, preds);
+    next_btr_ = std::max(next_btr_, btrs);
+}
+
+size_t
+Function::totalOps() const
+{
+    size_t n = 0;
+    forEachBlock([&](const BasicBlock &b) { n += b.ops().size(); });
+    return n;
+}
+
+void
+Function::rebuildPreds()
+{
+    for (auto &b : blocks_) {
+        if (b)
+            b->preds_.clear();
+    }
+    for (auto &b : blocks_) {
+        if (!b || !b->hasTerminator())
+            continue;
+        for (BlockId succ : b->successors()) {
+            if (succ != kNoBlock)
+                block(succ).preds_.push_back(b->id());
+        }
+    }
+    preds_valid_ = true;
+}
+
+} // namespace treegion::ir

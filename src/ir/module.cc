@@ -1,0 +1,50 @@
+#include "ir/module.h"
+
+#include "support/logging.h"
+
+namespace treegion::ir {
+
+Module::Module(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Function &
+Module::createFunction(std::string fn_name)
+{
+    TG_ASSERT(!hasFunction(fn_name));
+    functions_.push_back(std::make_unique<Function>(std::move(fn_name)));
+    return *functions_.back();
+}
+
+Function &
+Module::function(const std::string &fn_name)
+{
+    for (auto &fn : functions_) {
+        if (fn->name() == fn_name)
+            return *fn;
+    }
+    TG_PANIC("no function named %s", fn_name.c_str());
+}
+
+const Function &
+Module::function(const std::string &fn_name) const
+{
+    for (const auto &fn : functions_) {
+        if (fn->name() == fn_name)
+            return *fn;
+    }
+    TG_PANIC("no function named %s", fn_name.c_str());
+}
+
+bool
+Module::hasFunction(const std::string &fn_name) const
+{
+    for (const auto &fn : functions_) {
+        if (fn->name() == fn_name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace treegion::ir

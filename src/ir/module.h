@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A module: a named collection of functions plus the data memory
+ * image the simulator runs against.
+ */
+
+#ifndef TREEGION_IR_MODULE_H
+#define TREEGION_IR_MODULE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace treegion::ir {
+
+/** Top-level IR container. */
+class Module
+{
+  public:
+    /** Construct an empty module named @p name. */
+    explicit Module(std::string name);
+
+    /** @return the module name. */
+    const std::string &name() const { return name_; }
+
+    /** Create a function named @p fn_name and @return a reference. */
+    Function &createFunction(std::string fn_name);
+
+    /** @return the function named @p fn_name; asserts it exists. */
+    Function &function(const std::string &fn_name);
+    const Function &function(const std::string &fn_name) const;
+
+    /** @return true when a function with that name exists. */
+    bool hasFunction(const std::string &fn_name) const;
+
+    /** @return all functions in creation order. */
+    std::vector<std::unique_ptr<Function>> &functions() {
+        return functions_;
+    }
+    const std::vector<std::unique_ptr<Function>> &functions() const {
+        return functions_;
+    }
+
+    /** Words of simulated data memory programs in this module use. */
+    size_t memWords() const { return mem_words_; }
+
+    /** Set the simulated data memory size. */
+    void setMemWords(size_t words) { mem_words_ = words; }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Function>> functions_;
+    size_t mem_words_ = 4096;
+};
+
+} // namespace treegion::ir
+
+#endif // TREEGION_IR_MODULE_H

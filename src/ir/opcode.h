@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Opcode definitions and static metadata for the treegion IR.
+ *
+ * The operation repertoire follows the HPL Play-Doh specification the
+ * paper's machine models assume: general-purpose ALU ops, loads and
+ * stores, a two-target compare-to-predicate (CMPP), prepare-to-branch
+ * (PBR) with branch-target registers, predicated branches (BRCT/BRCF),
+ * an unconditional branch (BRU), a multiway branch (MWBR) for switch
+ * statements, and COPY ops introduced by compile-time register
+ * renaming.
+ *
+ * Latencies mirror the paper's models: unit latency everywhere except
+ * LD (2 cycles), FMUL (3) and FDIV (9); all units are universal and
+ * fully pipelined.
+ */
+
+#ifndef TREEGION_IR_OPCODE_H
+#define TREEGION_IR_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace treegion::ir {
+
+/** Operation codes of the IR. */
+enum class Opcode : uint8_t {
+    // Data movement.
+    MOVI,  ///< dst = immediate
+    MOV,   ///< dst = src register
+    COPY,  ///< renaming reconciliation copy (identical to MOV, but
+           ///< marked so the performance model can exclude it)
+
+    // Integer ALU.
+    ADD,
+    SUB,
+    MUL,
+    AND,
+    OR,
+    XOR,
+    SHL,
+    SHR,
+    REM,  ///< remainder; b == 0 yields 0 (dismissible, like FDIV)
+
+    // Floating-point (simulated over the integer register file; they
+    // exist to exercise the paper's non-unit latencies).
+    FADD,
+    FMUL,
+    FDIV,
+
+    // Memory.
+    LD,  ///< dst = mem[base + offset]; dismissible (non-faulting)
+    ST,  ///< mem[base + offset] = src; never speculated
+
+    // Predicate definition.
+    CMPP,   ///< pt[, pf] = cmp(s1, s2) ANDed with the guard predicate
+    PSET,   ///< dst predicate := 1 (initializer for wired-AND)
+    PCLR,   ///< dst predicate := 0 (initializer for wired-OR)
+    CMPPA,  ///< and-type compare: clears dst when cmp(s1, s2) is
+            ///< false, leaves it untouched otherwise. Multiple CMPPAs
+            ///< targeting one predicate commute, so a path predicate
+            ///< is computable in a single level (HPL-PD's wired-AND,
+            ///< the critical-path-reduction technique of Schlansker
+            ///< and Kathail that the paper builds on)
+    CMPPO,  ///< or-type compare: sets dst when cmp(s1, s2) is true,
+            ///< leaves it untouched otherwise. Used to merge the
+            ///< incoming edge predicates of a hyperblock join
+
+    // Branch-related.
+    PBR,   ///< btr = block address (prepare-to-branch)
+    BRU,   ///< unconditional branch
+    BRCT,  ///< branch if predicate true
+    BRCF,  ///< branch if predicate false
+    MWBR,  ///< multiway branch on a selector register
+    RET,   ///< leave the function, yielding the src register
+
+    NumOpcodes,
+};
+
+/** Comparison kinds for CMPP. */
+enum class CmpKind : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/** Static properties of one opcode. */
+struct OpcodeInfo
+{
+    std::string_view name;  ///< mnemonic used by printer/parser
+    int latency;            ///< cycles until the result is usable
+    bool isBranch;          ///< transfers control
+    bool isLoad;            ///< reads memory
+    bool isStore;           ///< writes memory
+    int numDsts;            ///< destination count (CMPP: 1 or 2)
+    int numSrcs;            ///< source operand count
+};
+
+/** @return static metadata for @p opcode. */
+const OpcodeInfo &opcodeInfo(Opcode opcode);
+
+/** @return mnemonic for @p opcode. */
+std::string_view opcodeName(Opcode opcode);
+
+/** @return mnemonic suffix for @p kind ("EQ", "LT", ...). */
+std::string_view cmpKindName(CmpKind kind);
+
+/**
+ * Parse an opcode mnemonic.
+ *
+ * @param name mnemonic, e.g. "ADD"
+ * @param out parsed opcode on success
+ * @return true when @p name names an opcode
+ */
+bool parseOpcode(std::string_view name, Opcode &out);
+
+/** Parse a CMPP kind suffix; @return true on success. */
+bool parseCmpKind(std::string_view name, CmpKind &out);
+
+/** @return the complementary comparison (LT <-> GE, etc.). */
+CmpKind negateCmpKind(CmpKind kind);
+
+/** Evaluate a comparison. */
+bool evalCmp(CmpKind kind, int64_t a, int64_t b);
+
+/**
+ * Evaluate a non-memory, non-branch computation.
+ *
+ * FDIV by zero yields zero (dismissible semantics, so speculated
+ * divides are always safe). Shift amounts are masked to 6 bits.
+ *
+ * @param opcode one of the ALU / FP opcodes
+ * @param a first source value
+ * @param b second source value (ignored by single-source ops)
+ */
+int64_t evalAlu(Opcode opcode, int64_t a, int64_t b);
+
+} // namespace treegion::ir
+
+#endif // TREEGION_IR_OPCODE_H

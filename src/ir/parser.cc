@@ -1,0 +1,450 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "support/string_utils.h"
+
+namespace treegion::ir {
+
+namespace {
+
+using support::startsWith;
+using support::strprintf;
+using support::trim;
+
+/** Recursive-descent, line-oriented parser. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : error_(error)
+    {
+        size_t start = 0;
+        while (start <= text.size()) {
+            size_t end = text.find('\n', start);
+            if (end == std::string_view::npos)
+                end = text.size();
+            lines_.push_back(text.substr(start, end - start));
+            start = end + 1;
+        }
+    }
+
+    std::unique_ptr<Module>
+    run()
+    {
+        std::string_view line;
+        if (!nextLine(line) || !startsWith(line, "module "))
+            return fail("expected 'module <name> mem=<words>'");
+        auto fields = support::splitString(line, ' ');
+        if (fields.size() != 3 || !startsWith(fields[2], "mem="))
+            return fail("malformed module header");
+        auto mod = std::make_unique<Module>(fields[1]);
+        mod->setMemWords(std::strtoull(fields[2].c_str() + 4, nullptr, 10));
+
+        while (nextLine(line)) {
+            if (!startsWith(line, "func @"))
+                return fail("expected 'func @...'");
+            if (!parseFunction(*mod, line))
+                return nullptr;
+        }
+        return mod;
+    }
+
+  private:
+    std::unique_ptr<Module>
+    fail(const std::string &msg)
+    {
+        if (error_)
+            *error_ = strprintf("line %zu: %s", line_no_, msg.c_str());
+        failed_ = true;
+        return nullptr;
+    }
+
+    bool
+    failb(const std::string &msg)
+    {
+        fail(msg);
+        return false;
+    }
+
+    /** Fetch the next non-empty line, trimmed. */
+    bool
+    nextLine(std::string_view &out)
+    {
+        while (pos_ < lines_.size()) {
+            std::string_view line = trim(lines_[pos_]);
+            ++pos_;
+            line_no_ = pos_;
+            if (!line.empty() && !startsWith(line, "#")) {
+                out = line;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseFunction(Module &mod, std::string_view header)
+    {
+        // func @name entry=bbN gprs=N preds=N {
+        auto fields = support::splitString(header, ' ');
+        if (fields.size() < 3 || fields.back() != "{")
+            return failb("malformed func header");
+        const std::string name = fields[0] == "func" && fields[1][0] == '@'
+                                     ? fields[1].substr(1)
+                                     : "";
+        if (name.empty())
+            return failb("missing function name");
+        Function &fn = mod.createFunction(name);
+
+        BlockId entry = kNoBlock;
+        uint32_t gprs = 0;
+        uint32_t preds = 0;
+        for (size_t i = 2; i + 1 < fields.size(); ++i) {
+            const std::string &f = fields[i];
+            if (startsWith(f, "entry=bb"))
+                entry = static_cast<BlockId>(std::strtoul(
+                    f.c_str() + 8, nullptr, 10));
+            else if (startsWith(f, "gprs="))
+                gprs = static_cast<uint32_t>(std::strtoul(
+                    f.c_str() + 5, nullptr, 10));
+            else if (startsWith(f, "preds="))
+                preds = static_cast<uint32_t>(std::strtoul(
+                    f.c_str() + 6, nullptr, 10));
+            else
+                return failb("unknown func attribute: " + f);
+        }
+        fn.reserveRegs(gprs, preds, 0);
+
+        std::vector<bool> defined;
+        std::string_view line;
+        while (nextLine(line)) {
+            if (line == "}")
+                break;
+            if (!startsWith(line, "block bb"))
+                return failb("expected 'block bb<N> ... {'");
+            if (!parseBlock(fn, line, defined))
+                return false;
+        }
+
+        // Remove blocks that were only created to reserve id space.
+        fn.invalidatePreds();
+        for (BlockId id = 0; id < fn.numBlockIds(); ++id) {
+            if (!fn.hasBlock(id) ||
+                (id < defined.size() && defined[id])) {
+                continue;
+            }
+            if (!fn.predsOf(id).empty())
+                return failb(strprintf("branch to undefined block bb%u",
+                                       id));
+            fn.removeBlock(id);
+        }
+        if (entry == kNoBlock || !fn.hasBlock(entry))
+            return failb("function entry block missing");
+        fn.setEntry(entry);
+        return true;
+    }
+
+    /** Ensure ids 0..id exist in @p fn. */
+    void
+    reserveBlocks(Function &fn, BlockId id)
+    {
+        while (fn.numBlockIds() <= id)
+            fn.createBlock();
+    }
+
+    bool
+    parseBlock(Function &fn, std::string_view header,
+               std::vector<bool> &defined)
+    {
+        auto fields = support::splitString(header, ' ');
+        if (fields.size() < 3 || fields.back() != "{")
+            return failb("malformed block header");
+        const BlockId id = static_cast<BlockId>(
+            std::strtoul(fields[1].c_str() + 2, nullptr, 10));
+        reserveBlocks(fn, id);
+        if (id < defined.size() && defined[id])
+            return failb(strprintf("block bb%u defined twice", id));
+        if (defined.size() <= id)
+            defined.resize(id + 1, false);
+        defined[id] = true;
+        BasicBlock &b = fn.block(id);
+
+        std::vector<double> edge_weights;
+        for (size_t i = 2; i + 1 < fields.size(); ++i) {
+            const std::string &f = fields[i];
+            if (startsWith(f, "weight="))
+                b.setWeight(std::strtod(f.c_str() + 7, nullptr));
+            else if (startsWith(f, "edges=[")) {
+                std::string inner = f.substr(7);
+                if (!inner.empty() && inner.back() == ']')
+                    inner.pop_back();
+                for (const auto &piece : support::splitString(inner, ','))
+                    edge_weights.push_back(
+                        std::strtod(piece.c_str(), nullptr));
+            } else {
+                return failb("unknown block attribute: " + f);
+            }
+        }
+
+        std::string_view line;
+        while (nextLine(line)) {
+            if (line == "}")
+                break;
+            Op op;
+            if (!parseOp(fn, line, op))
+                return false;
+            if (op.isBranch()) {
+                if (b.hasTerminator())
+                    return failb("multiple terminators in block");
+                fn.appendTerminator(id, std::move(op));
+            } else {
+                if (b.hasTerminator())
+                    return failb("op after terminator");
+                fn.appendOp(id, std::move(op));
+            }
+        }
+        b.edgeWeights() = std::move(edge_weights);
+        return true;
+    }
+
+    /** Parse a register name like r3 / p1 / b2. */
+    static std::optional<Reg>
+    parseReg(std::string_view tok)
+    {
+        if (tok.size() < 2)
+            return std::nullopt;
+        RegClass cls;
+        if (tok[0] == 'r')
+            cls = RegClass::Gpr;
+        else if (tok[0] == 'p')
+            cls = RegClass::Pred;
+        else if (tok[0] == 'b' && !startsWith(tok, "bb"))
+            cls = RegClass::Btr;
+        else
+            return std::nullopt;
+        uint32_t idx = 0;
+        for (char c : tok.substr(1)) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                return std::nullopt;
+            idx = idx * 10 + static_cast<uint32_t>(c - '0');
+        }
+        return Reg{cls, idx};
+    }
+
+    static std::optional<int64_t>
+    parseImm(std::string_view tok)
+    {
+        if (tok.empty())
+            return std::nullopt;
+        size_t i = tok[0] == '-' ? 1 : 0;
+        if (i == tok.size())
+            return std::nullopt;
+        for (; i < tok.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+                return std::nullopt;
+        }
+        return std::strtoll(std::string(tok).c_str(), nullptr, 10);
+    }
+
+    static std::optional<BlockId>
+    parseTarget(std::string_view tok)
+    {
+        if (tok == "fallthru")
+            return kNoBlock;
+        if (startsWith(tok, "bb")) {
+            uint32_t idx = 0;
+            if (tok.size() < 3)
+                return std::nullopt;
+            for (char c : tok.substr(2)) {
+                if (!std::isdigit(static_cast<unsigned char>(c)))
+                    return std::nullopt;
+                idx = idx * 10 + static_cast<uint32_t>(c - '0');
+            }
+            return idx;
+        }
+        return std::nullopt;
+    }
+
+    /** Split an op body into tokens on spaces/commas, keeping []+?:. */
+    static std::vector<std::string>
+    tokenize(std::string_view text)
+    {
+        std::vector<std::string> toks;
+        std::string cur;
+        auto flush = [&]() {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        };
+        for (char c : text) {
+            if (c == ' ' || c == ',' || c == '\t') {
+                flush();
+            } else if (c == '[' || c == ']' || c == '+' || c == '?' ||
+                       c == ':') {
+                flush();
+                toks.push_back(std::string(1, c));
+            } else {
+                cur += c;
+            }
+        }
+        flush();
+        return toks;
+    }
+
+    bool
+    parseOp(Function &fn, std::string_view line, Op &op)
+    {
+        // Destinations (before '=').
+        std::string_view body = line;
+        const size_t eq = line.find(" = ");
+        std::vector<Reg> dsts;
+        if (eq != std::string_view::npos) {
+            for (const auto &d :
+                 support::splitString(line.substr(0, eq), ',')) {
+                auto r = parseReg(trim(d));
+                if (!r)
+                    return failb("bad destination register: " + d);
+                dsts.push_back(*r);
+            }
+            body = line.substr(eq + 3);
+        }
+
+        auto toks = tokenize(body);
+        if (toks.empty())
+            return failb("empty op");
+
+        // Mnemonic, possibly with a CMPP kind suffix.
+        std::string mnemonic = toks[0];
+        CmpKind kind = CmpKind::EQ;
+        const size_t dot = mnemonic.find('.');
+        if (dot != std::string::npos) {
+            if (!parseCmpKind(mnemonic.substr(dot + 1), kind))
+                return failb("bad compare kind in " + mnemonic);
+            mnemonic = mnemonic.substr(0, dot);
+        }
+        Opcode opcode;
+        if (!parseOpcode(mnemonic, opcode))
+            return failb("unknown opcode: " + mnemonic);
+
+        op = Op{};
+        op.opcode = opcode;
+        op.cmp = kind;
+        op.dsts = std::move(dsts);
+
+        // Trailing guard: "? pN".
+        size_t end = toks.size();
+        if (end >= 2 && toks[end - 2] == "?") {
+            auto g = parseReg(toks[end - 1]);
+            if (!g || g->cls != RegClass::Pred)
+                return failb("bad guard predicate");
+            op.guard = *g;
+            end -= 2;
+        }
+
+        size_t i = 1;
+        auto expect = [&](const char *tok) {
+            if (i >= end || toks[i] != tok)
+                return false;
+            ++i;
+            return true;
+        };
+
+        if (opcode == Opcode::LD || opcode == Opcode::ST) {
+            if (!expect("["))
+                return failb("expected '[' in memory op");
+            auto base = parseReg(i < end ? toks[i] : "");
+            if (!base)
+                return failb("bad base register");
+            ++i;
+            if (!expect("+"))
+                return failb("expected '+' in memory op");
+            auto off = parseImm(i < end ? toks[i] : "");
+            if (!off)
+                return failb("bad memory offset");
+            ++i;
+            if (!expect("]"))
+                return failb("expected ']' in memory op");
+            op.srcs = {Operand::makeReg(*base), Operand::makeImm(*off)};
+            if (opcode == Opcode::ST) {
+                if (i >= end)
+                    return failb("missing store value");
+                if (auto r = parseReg(toks[i]))
+                    op.srcs.push_back(Operand::makeReg(*r));
+                else if (auto imm = parseImm(toks[i]))
+                    op.srcs.push_back(Operand::makeImm(*imm));
+                else
+                    return failb("bad store value");
+                ++i;
+            }
+        } else if (opcode == Opcode::MWBR) {
+            auto sel = parseReg(i < end ? toks[i] : "");
+            if (!sel)
+                return failb("bad MWBR selector");
+            ++i;
+            op.srcs = {Operand::makeReg(*sel)};
+            if (!expect("["))
+                return failb("expected '[' in MWBR");
+            while (i < end && toks[i] != "]") {
+                auto value = parseImm(toks[i]);
+                if (!value)
+                    return failb("bad MWBR case value");
+                ++i;
+                if (!expect(":"))
+                    return failb("expected ':' in MWBR case");
+                auto target = parseTarget(i < end ? toks[i] : "");
+                if (!target)
+                    return failb("bad MWBR case target");
+                ++i;
+                op.caseValues.push_back(*value);
+                op.targets.push_back(*target);
+            }
+            if (!expect("]"))
+                return failb("expected ']' in MWBR");
+        } else {
+            // Generic: a mix of operands and branch targets.
+            for (; i < end; ++i) {
+                const std::string &tok = toks[i];
+                if (auto target = parseTarget(tok)) {
+                    op.targets.push_back(*target);
+                } else if (auto r = parseReg(tok)) {
+                    op.srcs.push_back(Operand::makeReg(*r));
+                } else if (auto imm = parseImm(tok)) {
+                    op.srcs.push_back(Operand::makeImm(*imm));
+                } else {
+                    return failb("bad operand: " + tok);
+                }
+            }
+            // The printed form of PBR/BRU carries targets only; make
+            // sure referenced blocks exist.
+        }
+        if (i != end)
+            return failb("trailing tokens in op");
+        for (BlockId t : op.targets) {
+            if (t != kNoBlock)
+                reserveBlocks(fn, t);
+        }
+        return true;
+    }
+
+    std::string *error_;
+    std::vector<std::string_view> lines_;
+    size_t pos_ = 0;
+    size_t line_no_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+parseModule(std::string_view text, std::string *error)
+{
+    Parser parser(text, error);
+    return parser.run();
+}
+
+} // namespace treegion::ir

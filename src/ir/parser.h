@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Parser for the textual IR format produced by printer.h.
+ */
+
+#ifndef TREEGION_IR_PARSER_H
+#define TREEGION_IR_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ir/module.h"
+
+namespace treegion::ir {
+
+/**
+ * Parse a textual module.
+ *
+ * @param text module source
+ * @param error set to a line-numbered message on failure
+ * @return the parsed module, or nullptr on error
+ */
+std::unique_ptr<Module> parseModule(std::string_view text,
+                                    std::string *error);
+
+} // namespace treegion::ir
+
+#endif // TREEGION_IR_PARSER_H

@@ -1,0 +1,51 @@
+#include "ir/printer.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/string_utils.h"
+
+namespace treegion::ir {
+
+void
+printFunction(std::ostream &os, const Function &fn)
+{
+    os << "func @" << fn.name() << " entry=bb" << fn.entry() << " gprs="
+       << fn.numGprs() << " preds=" << fn.numPreds() << " {\n";
+    fn.forEachBlock([&](const BasicBlock &b) {
+        os << "  block bb" << b.id();
+        os << support::strprintf(" weight=%.6g", b.weight());
+        if (!b.edgeWeights().empty()) {
+            os << " edges=[";
+            for (size_t i = 0; i < b.edgeWeights().size(); ++i) {
+                if (i)
+                    os << ",";
+                os << support::strprintf("%.6g", b.edgeWeights()[i]);
+            }
+            os << "]";
+        }
+        os << " {\n";
+        for (const Op &op : b.ops())
+            os << "    " << op.str() << "\n";
+        os << "  }\n";
+    });
+    os << "}\n";
+}
+
+void
+printModule(std::ostream &os, const Module &mod)
+{
+    os << "module " << mod.name() << " mem=" << mod.memWords() << "\n";
+    for (const auto &fn : mod.functions())
+        printFunction(os, *fn);
+}
+
+std::string
+moduleToString(const Module &mod)
+{
+    std::ostringstream os;
+    printModule(os, mod);
+    return os.str();
+}
+
+} // namespace treegion::ir

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Textual IR output (the module format parse() reads back).
+ */
+
+#ifndef TREEGION_IR_PRINTER_H
+#define TREEGION_IR_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/module.h"
+
+namespace treegion::ir {
+
+/** Print @p fn in textual IR form to @p os. */
+void printFunction(std::ostream &os, const Function &fn);
+
+/** Print @p mod (header plus all functions) to @p os. */
+void printModule(std::ostream &os, const Module &mod);
+
+/** @return @p mod rendered as a string. */
+std::string moduleToString(const Module &mod);
+
+} // namespace treegion::ir
+
+#endif // TREEGION_IR_PRINTER_H

@@ -1,0 +1,286 @@
+#include "ir/verifier.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace treegion::ir {
+
+namespace {
+
+using support::strprintf;
+
+class Verifier
+{
+  public:
+    Verifier(Function &fn, VerifyLevel level) : fn_(fn), level_(level) {}
+
+    std::vector<std::string>
+    run()
+    {
+        if (fn_.entry() == kNoBlock || !fn_.hasBlock(fn_.entry())) {
+            err("missing entry block");
+            return problems_;
+        }
+        fn_.forEachBlock([&](const BasicBlock &b) { checkBlock(b); });
+        checkReachability();
+        if (level_ == VerifyLevel::Schedulable)
+            fn_.forEachBlock(
+                [&](const BasicBlock &b) { checkSchedulable(b); });
+        return problems_;
+    }
+
+  private:
+    void
+    err(std::string msg)
+    {
+        problems_.push_back(std::move(msg));
+    }
+
+    void
+    checkBlock(const BasicBlock &b)
+    {
+        const auto where = [&](const Op &op) {
+            return strprintf("bb%u op%u (%s)", b.id(), op.id,
+                             op.str().c_str());
+        };
+
+        if (!b.hasTerminator()) {
+            err(strprintf("bb%u: no terminator", b.id()));
+            return;
+        }
+
+        for (size_t i = 0; i < b.ops().size(); ++i) {
+            const Op &op = b.ops()[i];
+            const bool is_last = (i + 1 == b.ops().size());
+            if (op.isBranch() != is_last)
+                err(where(op) + ": branch op must be the terminator");
+            if (op.home != b.id())
+                err(where(op) + ": op.home does not match its block");
+            if (!op_ids_.insert(op.id).second)
+                err(where(op) + ": duplicate op id");
+            checkOpShape(b, op);
+        }
+
+        const Op &term = b.terminator();
+        for (BlockId target : term.targets) {
+            if (target == kNoBlock)
+                err(strprintf("bb%u: fallthru target outside a region "
+                              "schedule", b.id()));
+            else if (!fn_.hasBlock(target))
+                err(strprintf("bb%u: branch to dead block bb%u", b.id(),
+                              target));
+        }
+        if (!b.edgeWeights().empty() &&
+            b.edgeWeights().size() != term.targets.size()) {
+            err(strprintf("bb%u: edge weight count %zu != target count "
+                          "%zu", b.id(), b.edgeWeights().size(),
+                          term.targets.size()));
+        }
+    }
+
+    void
+    checkOpShape(const BasicBlock &b, const Op &op)
+    {
+        const OpcodeInfo &info = opcodeInfo(op.opcode);
+        const auto where = [&]() {
+            return strprintf("bb%u op%u (%s)", b.id(), op.id,
+                             op.str().c_str());
+        };
+
+        // Destination count and classes.
+        if (op.opcode == Opcode::CMPP) {
+            if (op.dsts.empty() || op.dsts.size() > 2)
+                err(where() + ": CMPP needs 1 or 2 destinations");
+            for (const Reg &d : op.dsts) {
+                if (d.cls != RegClass::Pred)
+                    err(where() + ": CMPP destination must be predicate");
+            }
+        } else if (op.opcode == Opcode::PSET ||
+                   op.opcode == Opcode::PCLR ||
+                   op.opcode == Opcode::CMPPA ||
+                   op.opcode == Opcode::CMPPO) {
+            if (op.dsts.size() != 1 ||
+                op.dsts[0].cls != RegClass::Pred) {
+                err(where() + ": predicate-define needs one predicate "
+                              "destination");
+            }
+        } else if (static_cast<int>(op.dsts.size()) != info.numDsts) {
+            err(where() + ": wrong destination count");
+        }
+        if (op.opcode == Opcode::PBR && !op.dsts.empty() &&
+            op.dsts[0].cls != RegClass::Btr) {
+            err(where() + ": PBR destination must be a BTR");
+        }
+        if (!op.dsts.empty() && op.opcode != Opcode::CMPP &&
+            op.opcode != Opcode::PSET && op.opcode != Opcode::PCLR &&
+            op.opcode != Opcode::CMPPA && op.opcode != Opcode::CMPPO &&
+            op.opcode != Opcode::PBR && op.dsts[0].cls != RegClass::Gpr) {
+            err(where() + ": destination must be a GPR");
+        }
+
+        // Source count and classes.
+        if (static_cast<int>(op.srcs.size()) != info.numSrcs)
+            err(where() + ": wrong source count");
+        if (op.opcode == Opcode::MOVI && !op.srcs.empty() &&
+            !op.srcs[0].isImm()) {
+            err(where() + ": MOVI source must be immediate");
+        }
+        if ((op.isLoad() || op.isStore()) && op.srcs.size() >= 2) {
+            if (!op.srcs[0].isReg() || op.srcs[0].reg.cls != RegClass::Gpr)
+                err(where() + ": memory base must be a GPR");
+            if (!op.srcs[1].isImm())
+                err(where() + ": memory offset must be immediate");
+        }
+        if ((op.opcode == Opcode::BRCT || op.opcode == Opcode::BRCF) &&
+            !op.srcs.empty() &&
+            (!op.srcs[0].isReg() ||
+             op.srcs[0].reg.cls != RegClass::Pred)) {
+            err(where() + ": branch condition must be a predicate");
+        }
+        if (op.guard && op.guard->cls != RegClass::Pred)
+            err(where() + ": guard must be a predicate register");
+
+        // Branch target arity.
+        switch (op.opcode) {
+          case Opcode::BRU:
+            if (op.targets.size() != 1)
+                err(where() + ": BRU needs exactly one target");
+            break;
+          case Opcode::BRCT:
+          case Opcode::BRCF:
+            if (op.targets.empty() || op.targets.size() > 2)
+                err(where() + ": BRCT/BRCF need 1 or 2 targets");
+            break;
+          case Opcode::MWBR:
+            if (op.targets.empty())
+                err(where() + ": MWBR needs targets");
+            if (op.targets.size() != op.caseValues.size())
+                err(where() + ": MWBR case/target count mismatch");
+            break;
+          case Opcode::RET:
+            if (!op.targets.empty())
+                err(where() + ": RET takes no targets");
+            break;
+          case Opcode::PBR:
+            if (op.targets.size() != 1)
+                err(where() + ": PBR needs exactly one target");
+            break;
+          default:
+            if (!op.targets.empty())
+                err(where() + ": non-branch op with targets");
+            break;
+        }
+    }
+
+    void
+    checkReachability()
+    {
+        std::unordered_set<BlockId> seen;
+        std::vector<BlockId> stack = {fn_.entry()};
+        while (!stack.empty()) {
+            const BlockId id = stack.back();
+            stack.pop_back();
+            if (!seen.insert(id).second)
+                continue;
+            if (!fn_.hasBlock(id))
+                continue;
+            for (BlockId succ : fn_.block(id).successors()) {
+                if (succ != kNoBlock)
+                    stack.push_back(succ);
+            }
+        }
+        fn_.forEachBlock([&](const BasicBlock &b) {
+            if (!seen.count(b.id()))
+                err(strprintf("bb%u unreachable from entry", b.id()));
+        });
+    }
+
+    /** Scheduler input preconditions. */
+    void
+    checkSchedulable(const BasicBlock &b)
+    {
+        // Collect predicate defs in this block.
+        std::unordered_map<uint32_t, size_t> pred_def_idx;
+        for (size_t i = 0; i < b.ops().size(); ++i) {
+            const Op &op = b.ops()[i];
+            if (op.guard) {
+                err(strprintf("bb%u op%u: guards are a scheduler "
+                              "output, not an input", b.id(), op.id));
+            }
+            if (op.opcode == Opcode::PBR || op.opcode == Opcode::PSET ||
+                op.opcode == Opcode::PCLR ||
+                op.opcode == Opcode::CMPPA ||
+                op.opcode == Opcode::CMPPO) {
+                err(strprintf("bb%u op%u: %s is a scheduler output",
+                              b.id(), op.id,
+                              std::string(opcodeName(op.opcode))
+                                  .c_str()));
+            }
+            if (op.opcode == Opcode::CMPP) {
+                if (op.dsts.size() != 1) {
+                    err(strprintf("bb%u op%u: sequential CMPP must have "
+                                  "one destination", b.id(), op.id));
+                }
+                for (const Reg &d : op.dsts)
+                    pred_def_idx[d.idx] = i;
+            }
+            // Predicate uses may only be block terminator conditions.
+            if (!op.isBranch()) {
+                for (const Reg &use : op.usedRegs()) {
+                    if (use.cls == RegClass::Pred)
+                        err(strprintf("bb%u op%u: predicate used by a "
+                                      "non-branch op", b.id(), op.id));
+                }
+            }
+        }
+        const Op &term = b.terminator();
+        if (term.opcode == Opcode::BRCT || term.opcode == Opcode::BRCF) {
+            if (term.targets.size() != 2) {
+                err(strprintf("bb%u: sequential conditional branch "
+                              "needs taken and fall targets", b.id()));
+            }
+            const Reg cond = term.srcs[0].reg;
+            if (!pred_def_idx.count(cond.idx)) {
+                err(strprintf("bb%u: branch condition p%u not defined "
+                              "by a CMPP in the same block", b.id(),
+                              cond.idx));
+            }
+        }
+        if (term.opcode == Opcode::MWBR) {
+            for (size_t i = 0; i < term.caseValues.size(); ++i) {
+                if (term.caseValues[i] != static_cast<int64_t>(i))
+                    err(strprintf("bb%u: sequential MWBR cases must be "
+                                  "dense 0..n-1", b.id()));
+            }
+        }
+    }
+
+    Function &fn_;
+    VerifyLevel level_;
+    std::vector<std::string> problems_;
+    std::unordered_set<OpId> op_ids_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyFunction(Function &fn, VerifyLevel level)
+{
+    return Verifier(fn, level).run();
+}
+
+void
+verifyOrDie(Function &fn, VerifyLevel level)
+{
+    auto problems = verifyFunction(fn, level);
+    if (!problems.empty()) {
+        TG_PANIC("IR verification failed for %s: %s (and %zu more)",
+                 fn.name().c_str(), problems.front().c_str(),
+                 problems.size() - 1);
+    }
+}
+
+} // namespace treegion::ir

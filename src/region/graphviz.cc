@@ -1,0 +1,81 @@
+#include "region/graphviz.h"
+
+#include <ostream>
+
+#include "support/string_utils.h"
+
+namespace treegion::region {
+
+using support::strprintf;
+
+namespace {
+
+/** A small qualitative palette for region clusters. */
+const char *kColors[] = {"#cfe8ff", "#ffe3c2", "#d8f2d0", "#f3d1f0",
+                         "#fff3b0", "#d9d7f1", "#ffd4d4", "#ccf2f0"};
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeDot(std::ostream &os, ir::Function &fn, const RegionSet &set,
+         const GraphvizOptions &options)
+{
+    os << "digraph cfg {\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+    if (!options.title.empty())
+        os << "  label=\"" << escape(options.title) << "\";\n";
+
+    for (size_t i = 0; i < set.regions().size(); ++i) {
+        const Region &r = set.regions()[i];
+        os << "  subgraph cluster_" << i << " {\n";
+        os << "    style=filled;\n    color=\""
+           << kColors[i % (sizeof(kColors) / sizeof(kColors[0]))]
+           << "\";\n";
+        os << "    label=\"" << regionKindName(r.kind()) << " "
+           << i << "\";\n";
+        for (const ir::BlockId id : r.blocks()) {
+            os << "    bb" << id << " [label=\"bb" << id;
+            if (options.show_weights) {
+                os << strprintf(" (w=%.6g)",
+                                fn.block(id).weight());
+            }
+            if (options.show_ops) {
+                for (const ir::Op &op : fn.block(id).ops())
+                    os << "\\l" << escape(op.str());
+                os << "\\l";
+            }
+            os << "\"];\n";
+        }
+        os << "  }\n";
+    }
+
+    fn.forEachBlock([&](const ir::BasicBlock &b) {
+        const auto succs = b.successors();
+        for (size_t slot = 0; slot < succs.size(); ++slot) {
+            if (succs[slot] == ir::kNoBlock)
+                continue;
+            os << "  bb" << b.id() << " -> bb" << succs[slot];
+            if (options.show_weights &&
+                slot < b.edgeWeights().size()) {
+                os << strprintf(" [label=\"%.6g\"]",
+                                b.edgeWeights()[slot]);
+            }
+            os << ";\n";
+        }
+    });
+    os << "}\n";
+}
+
+} // namespace treegion::region

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Graphviz (dot) export of a CFG with its region partition — each
+ * region becomes a colored cluster, edges carry profile weights.
+ * Handy for papers, debugging, and the examples.
+ */
+
+#ifndef TREEGION_REGION_GRAPHVIZ_H
+#define TREEGION_REGION_GRAPHVIZ_H
+
+#include <iosfwd>
+#include <string>
+
+#include "region/region.h"
+
+namespace treegion::region {
+
+/** Export options. */
+struct GraphvizOptions
+{
+    bool show_ops = false;        ///< list each block's ops in its node
+    bool show_weights = true;     ///< annotate edges with profile flow
+    std::string title;            ///< graph label
+};
+
+/**
+ * Write @p fn with the partition @p set as a dot graph to @p os.
+ */
+void writeDot(std::ostream &os, ir::Function &fn, const RegionSet &set,
+              const GraphvizOptions &options = {});
+
+} // namespace treegion::region
+
+#endif // TREEGION_REGION_GRAPHVIZ_H

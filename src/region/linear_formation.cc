@@ -1,0 +1,99 @@
+#include "region/formation.h"
+
+#include <deque>
+
+#include "support/logging.h"
+
+namespace treegion::region {
+
+using ir::BlockId;
+using ir::kNoBlock;
+
+RegionSet
+formBasicBlockRegions(ir::Function &fn)
+{
+    RegionSet set;
+    fn.forEachBlock([&](const ir::BasicBlock &b) {
+        set.add(Region(RegionKind::BasicBlock, b.id()));
+    });
+    return set;
+}
+
+namespace {
+
+/**
+ * Pick the successor slot with the highest profile edge weight
+ * (ties: first slot). @return false when the block has no targets.
+ */
+bool
+bestSuccessorSlot(const ir::BasicBlock &b, size_t &slot_out)
+{
+    const auto &targets = b.terminator().targets;
+    if (targets.empty())
+        return false;
+    const auto &weights = b.edgeWeights();
+    size_t best = 0;
+    double best_w = -1.0;
+    for (size_t i = 0; i < targets.size(); ++i) {
+        const double w = i < weights.size() ? weights[i] : 0.0;
+        if (w > best_w) {
+            best_w = w;
+            best = i;
+        }
+    }
+    slot_out = best;
+    return true;
+}
+
+} // namespace
+
+RegionSet
+formSlrs(ir::Function &fn)
+{
+    RegionSet set;
+    std::deque<BlockId> unprocessed = {fn.entry()};
+
+    auto grow = [&](BlockId root) {
+        Region slr(RegionKind::Slr, root);
+        BlockId cur = root;
+        for (;;) {
+            size_t slot;
+            if (!bestSuccessorSlot(fn.block(cur), slot))
+                break;
+            const BlockId next = fn.block(cur).terminator().targets[slot];
+            if (next == kNoBlock || slr.contains(next) ||
+                set.covered(next) || fn.isMergePoint(next)) {
+                break;
+            }
+            slr.addBlock(next, cur);
+            cur = next;
+        }
+        for (const BlockId sapling : slr.saplings(fn)) {
+            if (!set.covered(sapling))
+                unprocessed.push_back(sapling);
+        }
+        set.add(std::move(slr));
+    };
+
+    while (!unprocessed.empty()) {
+        const BlockId root = unprocessed.front();
+        unprocessed.pop_front();
+        if (!fn.hasBlock(root) || set.covered(root))
+            continue;
+        grow(root);
+    }
+    fn.forEachBlock([&](const ir::BasicBlock &b) {
+        if (!set.covered(b.id()))
+            unprocessed.push_back(b.id());
+    });
+    while (!unprocessed.empty()) {
+        const BlockId root = unprocessed.front();
+        unprocessed.pop_front();
+        if (!fn.hasBlock(root) || set.covered(root))
+            continue;
+        grow(root);
+    }
+    return set;
+}
+
+} // namespace treegion::region

@@ -1,0 +1,37 @@
+#include "region/region_stats.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace treegion::region {
+
+RegionStats
+computeRegionStats(const ir::Function &fn, const RegionSet &set)
+{
+    RegionStats stats;
+    stats.num_regions = set.regions().size();
+    size_t total_blocks = 0;
+    for (const Region &r : set.regions()) {
+        total_blocks += r.size();
+        stats.max_blocks = std::max(stats.max_blocks, r.size());
+        stats.total_ops += r.totalOps(fn);
+    }
+    if (stats.num_regions > 0) {
+        stats.avg_blocks = static_cast<double>(total_blocks) /
+                           static_cast<double>(stats.num_regions);
+        stats.avg_ops = static_cast<double>(stats.total_ops) /
+                        static_cast<double>(stats.num_regions);
+    }
+    return stats;
+}
+
+double
+codeExpansionFactor(const ir::Function &fn, size_t original_ops)
+{
+    TG_ASSERT(original_ops > 0);
+    return static_cast<double>(fn.totalOps()) /
+           static_cast<double>(original_ops);
+}
+
+} // namespace treegion::region

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Region statistics backing Tables 1, 2, 3 and 4 of the paper.
+ */
+
+#ifndef TREEGION_REGION_REGION_STATS_H
+#define TREEGION_REGION_REGION_STATS_H
+
+#include "region/region.h"
+
+namespace treegion::region {
+
+/** Aggregate statistics over one RegionSet. */
+struct RegionStats
+{
+    size_t num_regions = 0;   ///< total region count
+    double avg_blocks = 0.0;  ///< average basic blocks per region
+    size_t max_blocks = 0;    ///< largest region, in blocks
+    double avg_ops = 0.0;     ///< average ops per region
+    size_t total_ops = 0;     ///< total ops across all regions
+};
+
+/** Compute statistics for @p set over @p fn. */
+RegionStats computeRegionStats(const ir::Function &fn,
+                               const RegionSet &set);
+
+/**
+ * Code expansion factor (Table 3): current total op count of @p fn
+ * over the pre-formation op count @p original_ops.
+ */
+double codeExpansionFactor(const ir::Function &fn, size_t original_ops);
+
+} // namespace treegion::region
+
+#endif // TREEGION_REGION_REGION_STATS_H

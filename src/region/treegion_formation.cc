@@ -1,0 +1,229 @@
+#include "region/formation.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace treegion::region {
+
+using ir::BlockId;
+using ir::kNoBlock;
+
+namespace {
+
+/**
+ * absorb-into-tree (paper Fig. 2): flood from @p start, absorbing
+ * every successor that is not a merge point and not claimed by
+ * another region. Successors are pushed to the front of the candidate
+ * queue, matching the paper's depth-first growth.
+ */
+void
+absorbIntoTree(ir::Function &fn, const RegionSet &set, Region &tree,
+               BlockId start, BlockId start_parent)
+{
+    std::deque<std::pair<BlockId, BlockId>> candidates;  // (node, parent)
+    candidates.emplace_back(start, start_parent);
+    while (!candidates.empty()) {
+        const auto [node, parent] = candidates.front();
+        candidates.pop_front();
+        if (tree.contains(node))
+            continue;
+        if (fn.isMergePoint(node) || set.covered(node))
+            continue;
+
+        tree.addBlock(node, parent);
+        const auto succs = fn.block(node).successors();
+        for (auto it = succs.rbegin(); it != succs.rend(); ++it) {
+            if (*it != kNoBlock && !tree.contains(*it))
+                candidates.emplace_front(*it, node);
+        }
+    }
+}
+
+/**
+ * Ops over the non-duplicated members of @p tree: the "original code
+ * size per treegion" the paper's expansion limit is measured against.
+ * Tail-duplicated clones add to the region's total op count but not
+ * to this base, so the ratio grows with every duplication.
+ */
+size_t
+originalMemberOps(ir::Function &fn, const Region &tree)
+{
+    size_t ops = 0;
+    for (const BlockId id : tree.blocks()) {
+        const ir::BasicBlock &b = fn.block(id);
+        if (b.originalId() == id)
+            ops += b.ops().size();
+    }
+    return ops;
+}
+
+/**
+ * Would absorbing a copy of @p sapling below @p from repeat the
+ * sapling's original block along that root path? Duplicating a block
+ * into *sibling* subtrees is ordinary tail duplication (the paper's
+ * Fig. 12 turns every CFG path into a unique tree path); repeating it
+ * along one path would be loop unrolling, which the paper does not
+ * perform.
+ */
+bool
+repeatsAlongPath(ir::Function &fn, const Region &tree, BlockId from,
+                 BlockId sapling)
+{
+    const BlockId orig = fn.block(sapling).originalId();
+    for (BlockId walk = from; walk != kNoBlock;
+         walk = tree.parentOf(walk)) {
+        if (fn.block(walk).originalId() == orig)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Fig. 11's inner loop: repeatedly select a qualifying sapling, tail
+ * duplicate it (or absorb it directly once it has a single
+ * predecessor), until no sapling qualifies or a limit trips.
+ */
+void
+expandWithTailDuplication(ir::Function &fn, const RegionSet &set,
+                          Region &tree, const TailDupLimits &limits)
+{
+    for (;;) {
+        if (tree.pathCount() > limits.path_limit)
+            break;
+        if (tree.size() >= limits.max_region_blocks)
+            break;
+
+        // Select the first qualifying exit edge (Fig. 11's "for each
+        // sapling ... use this sapling", generalized to edges because
+        // a sapling may qualify below one leaf but repeat an original
+        // below another). Edges are visited hottest first so the
+        // expansion budget extends the frequently executed paths
+        // before cold ones, mirroring how trace-based superblock
+        // formation spends its duplication.
+        auto exits = tree.exits(fn);
+        std::stable_sort(exits.begin(), exits.end(),
+                         [](const RegionExit &a, const RegionExit &b) {
+                             return a.weight > b.weight;
+                         });
+        BlockId selected = kNoBlock;
+        BlockId from = kNoBlock;
+        size_t slot = 0;
+        for (const RegionExit &exit : exits) {
+            if (exit.is_ret || exit.target == kNoBlock)
+                continue;
+            const BlockId sapling = exit.target;
+            if (set.covered(sapling) || tree.contains(sapling))
+                continue;
+            if (repeatsAlongPath(fn, tree, exit.from, sapling))
+                continue;
+            const size_t merge_count = fn.predsOf(sapling).size();
+            const bool is_function_exit =
+                fn.block(sapling).successors().empty();
+            if (merge_count > limits.merge_limit && !is_function_exit)
+                continue;
+            // Conservative code-expansion pre-check ("might be
+            // exceeded"): absorbing one copy of the sapling must keep
+            // the region's op count within the limit relative to its
+            // non-duplicated code. A direct absorb of a sapling that
+            // is not itself a clone enlarges the base as well.
+            const bool will_clone = fn.isMergePoint(sapling);
+            const ir::BasicBlock &sap = fn.block(sapling);
+            const size_t sapling_ops = sap.ops().size();
+            const size_t base_gain =
+                (!will_clone && sap.originalId() == sapling)
+                    ? sapling_ops
+                    : 0;
+            const double cur_ops =
+                static_cast<double>(tree.totalOps(fn) + sapling_ops);
+            const double orig_ops = static_cast<double>(
+                originalMemberOps(fn, tree) + base_gain);
+            if (orig_ops <= 0.0 ||
+                cur_ops > limits.expansion_limit * orig_ops) {
+                continue;
+            }
+            selected = sapling;
+            from = exit.from;
+            slot = exit.target_slot;
+            break;
+        }
+        if (selected == kNoBlock)
+            break;
+
+        if (fn.isMergePoint(selected)) {
+            const BlockId clone = tailDuplicateEdge(fn, from, slot);
+            absorbIntoTree(fn, set, tree, clone, from);
+            // The original may have lost its last predecessor.
+            if (fn.predsOf(selected).empty())
+                orphanSweep(fn, set, selected);
+        } else {
+            absorbIntoTree(fn, set, tree, selected, from);
+        }
+    }
+}
+
+/** Shared driver for treeform (Fig. 2) / treeform-td (Fig. 11). */
+RegionSet
+treeformImpl(ir::Function &fn, const TailDupLimits *limits)
+{
+    RegionSet set;
+    std::deque<BlockId> unprocessed = {fn.entry()};
+
+    auto grow_region = [&](BlockId root) {
+        Region tree(RegionKind::Treegion, root);
+        for (const BlockId succ : fn.block(root).successors()) {
+            if (succ != kNoBlock)
+                absorbIntoTree(fn, set, tree, succ, root);
+        }
+        if (limits)
+            expandWithTailDuplication(fn, set, tree, *limits);
+        for (const BlockId sapling : tree.saplings(fn)) {
+            if (!set.covered(sapling))
+                unprocessed.push_back(sapling);
+        }
+        set.add(std::move(tree));
+    };
+
+    while (!unprocessed.empty()) {
+        const BlockId root = unprocessed.front();
+        unprocessed.pop_front();
+        if (!fn.hasBlock(root) || set.covered(root))
+            continue;
+        grow_region(root);
+    }
+
+    // Robustness: root a region at any block the entry walk missed
+    // (unreachable code in hand-written IR).
+    fn.forEachBlock([&](const ir::BasicBlock &b) {
+        if (!set.covered(b.id()))
+            unprocessed.push_back(b.id());
+    });
+    while (!unprocessed.empty()) {
+        const BlockId root = unprocessed.front();
+        unprocessed.pop_front();
+        if (!fn.hasBlock(root) || set.covered(root))
+            continue;
+        grow_region(root);
+    }
+    return set;
+}
+
+} // namespace
+
+RegionSet
+formTreegions(ir::Function &fn)
+{
+    return treeformImpl(fn, nullptr);
+}
+
+RegionSet
+formTreegionsTailDup(ir::Function &fn, const TailDupLimits &limits)
+{
+    RegionSet set = treeformImpl(fn, &limits);
+    return set;
+}
+
+} // namespace treegion::region

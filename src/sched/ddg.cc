@@ -1,0 +1,295 @@
+#include "sched/ddg.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace treegion::sched {
+
+using ir::BlockId;
+using ir::Reg;
+
+namespace {
+
+/** Memory-ordering state along one root-to-leaf path. */
+struct MemState
+{
+    ssize_t last_store = -1;              ///< lowered index, -1 = none
+    std::vector<size_t> loads_since;      ///< loads after last_store
+};
+
+/** Visit cap for per-path DAG walks; beyond it we fall back to a
+ * fully conservative total order. */
+constexpr size_t kWalkBudget = 1u << 17;
+
+} // namespace
+
+void
+Ddg::addEdge(size_t from, size_t to, int latency, bool slot_ordered,
+             bool virtual_ctrl)
+{
+    TG_ASSERT(from != to);
+    succs_[from].push_back({to, latency, slot_ordered, virtual_ctrl});
+    preds_[to].push_back({from, latency, slot_ordered, virtual_ctrl});
+}
+
+Ddg::Ddg(const LoweredRegion &lowered)
+{
+    const size_t n = lowered.ops.size();
+    succs_.resize(n);
+    preds_.resize(n);
+    heights_.assign(n, 0);
+
+    // Definition map. Full renaming gives GPRs/BTRs a single def;
+    // wired-AND predicates have one initializer plus one compare per
+    // condition, and hyperblock merge copies give one guarded MOV per
+    // incoming edge (the guards are mutually exclusive, so the writes
+    // commute and carry no mutual ordering).
+    std::unordered_map<Reg, std::vector<size_t>> defs;
+    for (size_t i = 0; i < n; ++i) {
+        for (const Reg &d : lowered.ops[i].op.dsts) {
+            auto &list = defs[d];
+            TG_ASSERT(list.empty() || d.cls == ir::RegClass::Pred ||
+                      lowered.ops[i].op.guard.has_value());
+            list.push_back(i);
+        }
+    }
+
+    // Value edges: sources and guards read after every producer.
+    for (size_t i = 0; i < n; ++i) {
+        const ir::Op &op = lowered.ops[i].op;
+        for (const Reg &use : op.usedRegs()) {
+            auto it = defs.find(use);
+            if (it == defs.end())
+                continue;
+            for (const size_t j : it->second) {
+                if (j != i)
+                    addEdge(j, i, lowered.ops[j].op.latency(), false);
+            }
+        }
+        // Accumulating predicate defines read-modify-write their
+        // destination: they must follow the initializer (but not
+        // their commuting siblings).
+        if (op.opcode == ir::Opcode::CMPPA ||
+            op.opcode == ir::Opcode::CMPPO) {
+            const auto &list = defs.at(op.dsts[0]);
+            TG_ASSERT(lowered.ops[list.front()].op.opcode ==
+                          ir::Opcode::PSET ||
+                      lowered.ops[list.front()].op.opcode ==
+                          ir::Opcode::PCLR);
+            addEdge(list.front(), i, 1, false);
+        }
+    }
+
+    // Per-home op lists in emission order.
+    std::unordered_map<BlockId, std::vector<size_t>> by_home;
+    for (size_t i = 0; i < n; ++i)
+        by_home[lowered.ops[i].home].push_back(i);
+
+    auto succs_of = [&](BlockId block) -> const std::vector<BlockId> & {
+        static const std::vector<BlockId> kEmpty;
+        auto it = lowered.succs_in_region.find(block);
+        return it == lowered.succs_in_region.end() ? kEmpty
+                                                   : it->second;
+    };
+
+    // Memory order edges along each internal path (DFS carrying
+    // state; a DAG may visit merge blocks once per incoming path).
+    size_t walk_budget = kWalkBudget;
+    bool budget_hit = false;
+    auto mem_walk = [&](auto &&self, BlockId block,
+                        MemState state) -> void {
+        if (walk_budget == 0) {
+            budget_hit = true;
+            return;
+        }
+        --walk_budget;
+        auto it = by_home.find(block);
+        if (it != by_home.end()) {
+            for (const size_t i : it->second) {
+                const ir::Op &op = lowered.ops[i].op;
+                if (op.isStore()) {
+                    if (state.last_store >= 0)
+                        addEdge(static_cast<size_t>(state.last_store), i,
+                                0, true);
+                    for (const size_t load : state.loads_since)
+                        addEdge(load, i, 0, true);
+                    state.last_store = static_cast<ssize_t>(i);
+                    state.loads_since.clear();
+                } else if (op.isLoad()) {
+                    if (state.last_store >= 0)
+                        addEdge(static_cast<size_t>(state.last_store), i,
+                                0, true);
+                    state.loads_since.push_back(i);
+                }
+            }
+        }
+        for (const BlockId child : succs_of(block))
+            self(self, child, state);
+    };
+    mem_walk(mem_walk, lowered.root, MemState{});
+
+    // Exit lookup by home block.
+    std::unordered_map<BlockId, std::vector<const LoweredExit *>>
+        exits_by_home;
+    for (const LoweredExit &exit : lowered.exits)
+        exits_by_home[exit.from].push_back(&exit);
+
+    // Pinning edges: each guarded store precedes every exit branch
+    // reachable at or below its block.
+    auto pin_walk = [&](auto &&self, BlockId block,
+                        std::vector<size_t> stores) -> void {
+        if (walk_budget == 0) {
+            budget_hit = true;
+            return;
+        }
+        --walk_budget;
+        auto it = by_home.find(block);
+        if (it != by_home.end()) {
+            for (const size_t i : it->second) {
+                if (lowered.ops[i].pinned)
+                    stores.push_back(i);
+            }
+        }
+        auto eit = exits_by_home.find(block);
+        if (eit != exits_by_home.end()) {
+            for (const LoweredExit *exit : eit->second) {
+                for (const size_t s : stores) {
+                    if (s != exit->op_index)
+                        addEdge(s, exit->op_index, 0, false);
+                }
+            }
+        }
+        for (const BlockId child : succs_of(block))
+            self(self, child, stores);
+    };
+    pin_walk(pin_walk, lowered.root, {});
+
+    if (budget_hit) {
+        // Pathologically path-dense region: fall back to a total
+        // order over all memory ops and exits in emission order.
+        // Strictly more conservative, always correct.
+        ssize_t last_mem = -1;
+        for (size_t i = 0; i < n; ++i) {
+            const ir::Op &op = lowered.ops[i].op;
+            if (op.isMemory()) {
+                if (last_mem >= 0)
+                    addEdge(static_cast<size_t>(last_mem), i, 0, true);
+                last_mem = static_cast<ssize_t>(i);
+            }
+        }
+        for (const LoweredExit &exit : lowered.exits) {
+            for (size_t i = 0; i < exit.op_index; ++i) {
+                if (lowered.ops[i].pinned)
+                    addEdge(i, exit.op_index, 0, false);
+            }
+        }
+    }
+
+    // Exit data edges for reconciliation copies.
+    for (const LoweredExit &exit : lowered.exits) {
+        for (const ExitCopy &copy : exit.copies) {
+            auto it = defs.find(copy.src);
+            if (it == defs.end())
+                continue;
+            for (const size_t j : it->second) {
+                const int lat = lowered.ops[j].op.latency() - 1;
+                if (j != exit.op_index)
+                    addEdge(j, exit.op_index, lat, false);
+            }
+        }
+    }
+
+    // Extra deps (PBR -> branch).
+    for (const auto &[from, to] : lowered.extra_deps)
+        addEdge(from, to, lowered.ops[from].op.latency(), false);
+
+    // Dedupe parallel real edges, keeping the strongest constraint.
+    auto dedupe = [](std::vector<DdgEdge> &edges) {
+        std::sort(edges.begin(), edges.end(),
+                  [](const DdgEdge &a, const DdgEdge &b) {
+                      if (a.other != b.other)
+                          return a.other < b.other;
+                      if (a.latency != b.latency)
+                          return a.latency > b.latency;
+                      return a.slot_ordered && !b.slot_ordered;
+                  });
+        edges.erase(std::unique(edges.begin(), edges.end(),
+                                [](const DdgEdge &a, const DdgEdge &b) {
+                                    return a.other == b.other &&
+                                           a.slot_ordered ==
+                                               b.slot_ordered;
+                                }),
+                    edges.end());
+    };
+    for (auto &edges : succs_)
+        dedupe(edges);
+    for (auto &edges : preds_)
+        dedupe(edges);
+
+    // Virtual control edges for dependence heights: each exit branch
+    // "controls" everything homed strictly below its block.
+    for (size_t i = 0; i < n; ++i) {
+        if (lowered.ops[i].kind != LoweredKind::ExitBranch)
+            continue;
+        const BlockId home = lowered.ops[i].home;
+        for (const BlockId below : lowered.reachableFrom(home)) {
+            if (below == home)
+                continue;
+            auto it = by_home.find(below);
+            if (it == by_home.end())
+                continue;
+            for (const size_t target : it->second)
+                addEdge(i, target, 1, false, true);
+        }
+    }
+
+    // Heights over the full (data + virtual control) DAG. Virtual
+    // edges can point backwards in emission order, so use memoized
+    // DFS rather than a reverse sweep. Height floors let a second
+    // pass raise specific nodes without introducing cycles.
+    std::vector<int> floors(n, 0);
+    auto compute_heights = [&]() {
+        std::vector<int8_t> mark(n, 0);  // 0 new, 1 open, 2 done
+        auto height_of = [&](auto &&self, size_t i) -> int {
+            if (mark[i] == 2)
+                return heights_[i];
+            TG_ASSERT(mark[i] != 1 && "cycle in DDG");
+            mark[i] = 1;
+            int h = std::max(lowered.ops[i].op.latency(), floors[i]);
+            for (const DdgEdge &e : succs_[i])
+                h = std::max(h, e.latency + self(self, e.other));
+            mark[i] = 2;
+            heights_[i] = h;
+            return h;
+        };
+        for (size_t i = 0; i < n; ++i)
+            height_of(height_of, i);
+    };
+    compute_heights();
+
+    // Loop recurrence criticality: a back-edge exit (an exit whose
+    // target is the region's own root) gates the entire next
+    // iteration, so its dependence height is floored at one more than
+    // the tallest op in the region. The floor propagates through the
+    // real data edges into whatever feeds the exit - typically the
+    // induction update - which would otherwise look like dead-end
+    // code to the dependence-height heuristic. (The paper performs no
+    // software pipelining, but region schedulers still must not
+    // stretch the recurrence.)
+    bool any_backedge = false;
+    int tallest = 0;
+    for (size_t i = 0; i < n; ++i)
+        tallest = std::max(tallest, heights_[i]);
+    for (const LoweredExit &exit : lowered.exits) {
+        if (!exit.is_ret && exit.target == lowered.root) {
+            floors[exit.op_index] = tallest + 1;
+            any_backedge = true;
+        }
+    }
+    if (any_backedge)
+        compute_heights();
+}
+
+} // namespace treegion::sched

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Data dependence graph over a lowered region.
+ *
+ * Edge kinds and latencies:
+ *  - Value edges (def -> use, including guards and branch condition
+ *    reads): latency = producer latency; the consumer reads in its
+ *    issue cycle's read phase.
+ *  - Memory order edges along each root-to-leaf path (loads cannot
+ *    bypass stores; stores stay ordered; store->dependent memory op
+ *    may share a cycle in slot order, the Play-Doh rule): latency 0,
+ *    slot-ordered.
+ *  - Pinning edges from each guarded store to every exit branch
+ *    reachable below it (taking an exit must not skip a store the
+ *    sequential program would have executed): latency 0.
+ *  - Exit data edges from the producer of each exit reconciliation
+ *    copy's source to the exit branch: latency = producer latency - 1
+ *    (the value must be architecturally visible when the next region
+ *    starts one cycle after the exit).
+ *  - Virtual control edges from each exit branch to every op homed
+ *    strictly below the branch's block. These never constrain the
+ *    scheduler (speculation breaks control dependences); they exist
+ *    so dependence heights match the classic control+data DAG, in
+ *    which a branch's height covers the code it controls and exits
+ *    near the root rank high under the dependence-height heuristic.
+ *
+ * The region's internal control structure comes from
+ * LoweredRegion::succs_in_region — a tree for treegions and linear
+ * regions, a DAG for hyperblocks — so this graph (and hence the list
+ * scheduler) is agnostic to the region type.
+ */
+
+#ifndef TREEGION_SCHED_DDG_H
+#define TREEGION_SCHED_DDG_H
+
+#include <vector>
+
+#include "sched/lowering.h"
+
+namespace treegion::sched {
+
+/** One dependence edge. */
+struct DdgEdge
+{
+    size_t other;        ///< the node on the other end
+    int latency;         ///< minimum cycle distance (0 = same cycle ok)
+    bool slot_ordered;   ///< 0-latency edges that additionally require
+                         ///< earlier-slot placement when sharing a cycle
+    bool virtual_ctrl;   ///< control edge kept only for dependence
+                         ///< heights; speculation is allowed to break
+                         ///< it, so the scheduler ignores it for
+                         ///< legality
+};
+
+/** Dependence graph for one lowered region. */
+class Ddg
+{
+  public:
+    /** Build the graph for @p lowered. */
+    explicit Ddg(const LoweredRegion &lowered);
+
+    /** @return node count (== lowered op count). */
+    size_t size() const { return succs_.size(); }
+
+    /** @return outgoing edges of node @p i. */
+    const std::vector<DdgEdge> &succs(size_t i) const { return succs_[i]; }
+
+    /** @return incoming edges of node @p i. */
+    const std::vector<DdgEdge> &preds(size_t i) const { return preds_[i]; }
+
+    /**
+     * Dependence height of node @p i: the critical-path length (in
+     * cycles) from the node to any sink, inclusive of its own
+     * latency.
+     */
+    int height(size_t i) const { return heights_[i]; }
+
+  private:
+    void addEdge(size_t from, size_t to, int latency, bool slot_ordered,
+                 bool virtual_ctrl = false);
+
+    std::vector<std::vector<DdgEdge>> succs_;
+    std::vector<std::vector<DdgEdge>> preds_;
+    std::vector<int> heights_;
+};
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_DDG_H

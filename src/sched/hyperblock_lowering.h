@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hyperblock lowering: if-conversion of a single-entry acyclic DAG
+ * region into the flat, predicated op soup the list scheduler
+ * consumes (the same LoweredRegion the treegion lowering produces, so
+ * the DDG and scheduler are shared).
+ *
+ * Differences from the tree lowering:
+ *
+ *  - Block predicates are per-block registers rather than flat
+ *    condition lists: an edge predicate is pred(block) AND the edge's
+ *    branch condition (an and-type chain), and a merge block's
+ *    predicate is the wired-OR (PCLR + or-type compares) of its
+ *    incoming edge predicates. Edge predicates of distinct edges are
+ *    mutually exclusive, which keeps exits unambiguous.
+ *
+ *  - Register state merges. When paths with different renamings join,
+ *    the lowering inserts one guarded MOV per incoming edge into a
+ *    fresh register (a predicated select), for every architectural
+ *    register that is live into the join and renamed differently on
+ *    the incoming paths. The guards are the (exclusive) edge
+ *    predicates, so exactly one MOV fires per execution.
+ */
+
+#ifndef TREEGION_SCHED_HYPERBLOCK_LOWERING_H
+#define TREEGION_SCHED_HYPERBLOCK_LOWERING_H
+
+#include "sched/lowering.h"
+
+namespace treegion::sched {
+
+/**
+ * Lower the hyperblock @p r for scheduling.
+ *
+ * @param fn the function (fresh registers are allocated from it)
+ * @param r a RegionKind::Hyperblock region
+ * @param live liveness for @p fn (exit copies and merge selects)
+ */
+LoweredRegion lowerHyperblock(ir::Function &fn, const region::Region &r,
+                              const analysis::Liveness &live);
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_HYPERBLOCK_LOWERING_H

@@ -1,0 +1,300 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+
+#include "sched/ddg.h"
+#include "sched/hyperblock_lowering.h"
+#include "support/logging.h"
+
+namespace treegion::sched {
+
+namespace {
+
+/** Mutable per-node scheduling state. */
+struct NodeState
+{
+    bool scheduled = false;
+    bool elided = false;
+    int cycle = -1;
+    int slot = -1;
+    size_t rep = 0;  ///< representative node when elided
+};
+
+class Scheduler
+{
+  public:
+    Scheduler(ir::Function &fn, LoweredRegion lowered,
+              const MachineModel &model, const SchedOptions &options)
+        : fn_(fn),
+          lowered_(std::move(lowered)),
+          ddg_(lowered_),
+          model_(model),
+          options_(options),
+          state_(lowered_.ops.size())
+    {
+    }
+
+    RegionSchedule run();
+
+  private:
+    /** Effective position of a (possibly elided) scheduled node. */
+    std::pair<int, int>
+    position(size_t i) const
+    {
+        const NodeState &s = state_[i];
+        if (s.elided)
+            return position(s.rep);
+        return {s.cycle, s.slot};
+    }
+
+    /**
+     * Can node @p i issue at (@p cycle, @p slot)? All DDG
+     * predecessors must be scheduled with their latencies satisfied.
+     */
+    bool
+    ready(size_t i, int cycle, int slot) const
+    {
+        for (const DdgEdge &e : ddg_.preds(i)) {
+            if (e.virtual_ctrl)
+                continue;  // priority-only: speculation may break it
+            const NodeState &p = state_[e.other];
+            if (!p.scheduled)
+                return false;
+            const auto [pc, ps] = position(e.other);
+            if (e.latency > 0) {
+                if (cycle < pc + e.latency)
+                    return false;
+            } else if (e.slot_ordered) {
+                if (pc > cycle || (pc == cycle && ps >= slot))
+                    return false;
+            } else {
+                if (cycle < pc)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    /**
+     * Find a scheduled twin for dominator-parallelism elision: same
+     * duplication group, same opcode/compare, identical (renamed)
+     * sources, unguarded computation, and a position that also
+     * satisfies @p i's memory-ordering edges.
+     *
+     * @return twin index, or npos
+     */
+    size_t
+    findTwin(size_t i) const
+    {
+        const LoweredOp &lop = lowered_.ops[i];
+        if (lop.kind != LoweredKind::Computation || lop.pinned ||
+            lop.op.guard || lop.op.dupGroup == 0 ||
+            lop.op.dsts.size() != 1) {
+            return npos;
+        }
+        for (size_t j = 0; j < lowered_.ops.size(); ++j) {
+            // Elided nodes are skipped: their destination register is
+            // never actually written, so aliasing to it would read
+            // garbage. The surviving representative qualifies on its
+            // own (same duplication group and sources).
+            if (j == i || !state_[j].scheduled || state_[j].elided)
+                continue;
+            const LoweredOp &twin = lowered_.ops[j];
+            if (twin.op.dupGroup != lop.op.dupGroup ||
+                twin.op.opcode != lop.op.opcode ||
+                twin.op.cmp != lop.op.cmp || twin.op.guard ||
+                twin.op.srcs != lop.op.srcs ||
+                twin.op.dsts.size() != 1) {
+                continue;
+            }
+            // The twin's position must satisfy this op's memory
+            // ordering edges (the value edges are identical by source
+            // equality).
+            const auto [tc, ts] = position(j);
+            bool order_ok = true;
+            for (const DdgEdge &e : ddg_.preds(i)) {
+                if (e.latency == 0 && e.slot_ordered) {
+                    const auto [pc, ps] = position(e.other);
+                    if (!state_[e.other].scheduled ||
+                        pc > tc || (pc == tc && ps >= ts)) {
+                        order_ok = false;
+                        break;
+                    }
+                }
+            }
+            if (order_ok)
+                return j;
+        }
+        return npos;
+    }
+
+    /** Alias @p i's destination to its twin's in all pending readers. */
+    void
+    elide(size_t i, size_t twin)
+    {
+        const ir::Reg from = lowered_.ops[i].op.dsts[0];
+        const ir::Reg to = lowered_.ops[twin].op.dsts[0];
+        for (size_t k = 0; k < lowered_.ops.size(); ++k) {
+            if (!state_[k].scheduled)
+                lowered_.ops[k].op.renameUses(from, to);
+        }
+        for (LoweredExit &exit : lowered_.exits) {
+            for (ExitCopy &copy : exit.copies) {
+                if (copy.src == from)
+                    copy.src = to;
+            }
+        }
+        state_[i].scheduled = true;
+        state_[i].elided = true;
+        state_[i].rep = twin;
+    }
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+    ir::Function &fn_;
+    LoweredRegion lowered_;
+    Ddg ddg_;
+    MachineModel model_;
+    SchedOptions options_;
+    std::vector<NodeState> state_;
+};
+
+RegionSchedule
+Scheduler::run()
+{
+    const size_t n = lowered_.ops.size();
+    const auto keys = computePriorityKeys(fn_, lowered_, ddg_);
+    auto order = sortByPriority(keys, options_.heuristic);
+
+    // Retire-as-soon-as-possible rule: a ready exit branch fires at
+    // its earliest legal cycle (its dependences - predicate, pinned
+    // stores, live-out producers - already encode when the exit may
+    // be taken), so exits precede computation in the pick order. The
+    // heuristic still decides everything that matters: the order of
+    // computation determines when each path's producers are done and
+    // hence when its exit becomes ready.
+    std::stable_partition(order.begin(), order.end(), [&](size_t i) {
+        return lowered_.ops[i].kind == LoweredKind::ExitBranch;
+    });
+
+    size_t scheduled_count = 0;
+    size_t elided_count = 0;
+    int cycle = 0;
+    const int max_cycles =
+        static_cast<int>(n) * 16 + 1024;  // runaway guard
+
+    while (scheduled_count < n) {
+        TG_ASSERT(cycle < max_cycles);
+        int slots_used = 0;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (const size_t i : order) {
+                if (state_[i].scheduled)
+                    continue;
+                // Elision consumes no slot, so test it before the
+                // width check; readiness for elision only requires
+                // the twin's position to satisfy the ordering edges.
+                if (options_.dominator_parallelism) {
+                    const size_t twin = findTwin(i);
+                    if (twin != npos && ready(i, cycle, slots_used)) {
+                        elide(i, twin);
+                        ++scheduled_count;
+                        ++elided_count;
+                        progress = true;
+                        continue;
+                    }
+                }
+                if (slots_used >= model_.issue_width)
+                    continue;
+                if (!ready(i, cycle, slots_used))
+                    continue;
+                state_[i].scheduled = true;
+                state_[i].cycle = cycle;
+                state_[i].slot = slots_used;
+                ++slots_used;
+                ++scheduled_count;
+                progress = true;
+            }
+        }
+        ++cycle;
+    }
+
+    // Assemble the schedule: surviving ops sorted by (cycle, slot).
+    RegionSchedule sched;
+    sched.root = lowered_.root;
+    sched.stats.renamed_defs = lowered_.renamed_defs;
+    sched.stats.elided_ops = elided_count;
+
+    std::vector<size_t> emit_order;
+    for (size_t i = 0; i < n; ++i) {
+        if (!state_[i].elided)
+            emit_order.push_back(i);
+    }
+    std::sort(emit_order.begin(), emit_order.end(),
+              [&](size_t a, size_t b) {
+                  return std::make_pair(state_[a].cycle, state_[a].slot) <
+                         std::make_pair(state_[b].cycle, state_[b].slot);
+              });
+
+    std::vector<size_t> lowered_to_out(n, npos);
+    for (const size_t i : emit_order) {
+        ScheduledOp sop;
+        sop.op = lowered_.ops[i].op;
+        sop.cycle = state_[i].cycle;
+        sop.slot = state_[i].slot;
+        sop.speculative = lowered_.ops[i].kind ==
+                              LoweredKind::Computation &&
+                          !lowered_.ops[i].op.guard &&
+                          lowered_.ops[i].home != lowered_.root;
+        if (sop.speculative)
+            ++sched.stats.speculated_ops;
+        lowered_to_out[i] = sched.ops.size();
+        sched.ops.push_back(std::move(sop));
+        sched.length = std::max(sched.length, state_[i].cycle + 1);
+    }
+
+    for (const LoweredExit &exit : lowered_.exits) {
+        ScheduledExit se;
+        TG_ASSERT(lowered_to_out[exit.op_index] != npos);
+        se.op_index = lowered_to_out[exit.op_index];
+        se.target_slot = exit.target_slot;
+        se.from = exit.from;
+        se.target = exit.target;
+        se.is_ret = exit.is_ret;
+        se.weight = exit.weight;
+        se.cycle = state_[exit.op_index].cycle;
+        se.copies = exit.copies;
+        sched.stats.exit_copies += exit.copies.size();
+        sched.exits.push_back(std::move(se));
+    }
+    return sched;
+}
+
+} // namespace
+
+RegionSchedule
+scheduleLoweredRegion(ir::Function &fn, LoweredRegion lowered,
+                      const MachineModel &model,
+                      const SchedOptions &options)
+{
+    return Scheduler(fn, std::move(lowered), model, options).run();
+}
+
+RegionSchedule
+scheduleRegion(ir::Function &fn, const region::Region &r,
+               const analysis::Liveness &live, const MachineModel &model,
+               const SchedOptions &options)
+{
+    if (r.kind() == region::RegionKind::Hyperblock) {
+        return scheduleLoweredRegion(fn, lowerHyperblock(fn, r, live),
+                                     model, options);
+    }
+    LowerOptions lower_options;
+    lower_options.materialize_pbr = options.materialize_pbr;
+    return scheduleLoweredRegion(fn, lowerRegion(fn, r, live,
+                                                 lower_options),
+                                 model, options);
+}
+
+} // namespace treegion::sched

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * VLIW machine models.
+ *
+ * The paper's machines have universal, fully pipelined functional
+ * units, so a model is characterized by its issue width plus the
+ * opcode latency table (which lives with the opcodes: unit latency
+ * except LD=2, FMUL=3, FDIV=9). The study uses a 1-issue baseline
+ * (1U) and 4-/8-issue evaluation machines (4U, 8U).
+ */
+
+#ifndef TREEGION_SCHED_MACHINE_MODEL_H
+#define TREEGION_SCHED_MACHINE_MODEL_H
+
+#include <string>
+
+namespace treegion::sched {
+
+/** A statically scheduled VLIW machine. */
+struct MachineModel
+{
+    std::string name;     ///< display name, e.g. "4U"
+    int issue_width = 1;  ///< ops per MultiOp
+
+    /** The paper's single-issue baseline machine. */
+    static MachineModel
+    scalar1U()
+    {
+        return {"1U", 1};
+    }
+
+    /** The paper's 4-issue machine. */
+    static MachineModel
+    wide4U()
+    {
+        return {"4U", 4};
+    }
+
+    /** The paper's 8-issue machine. */
+    static MachineModel
+    wide8U()
+    {
+        return {"8U", 8};
+    }
+
+    /** An arbitrary-width universal-unit machine. */
+    static MachineModel
+    custom(int width)
+    {
+        return {std::to_string(width) + "U", width};
+    }
+};
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_MACHINE_MODEL_H

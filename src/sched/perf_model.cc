@@ -1,0 +1,32 @@
+#include "sched/perf_model.h"
+
+#include "support/logging.h"
+
+namespace treegion::sched {
+
+double
+estimateRegionTime(const RegionSchedule &sched)
+{
+    double time = 0.0;
+    for (const ScheduledExit &exit : sched.exits)
+        time += exit.weight * static_cast<double>(exit.cycle + 1);
+    return time;
+}
+
+double
+estimateFunctionTime(const FunctionSchedule &sched)
+{
+    double time = 0.0;
+    for (const auto &[root, region_sched] : sched.regions)
+        time += estimateRegionTime(region_sched);
+    return time;
+}
+
+double
+speedup(double baseline_time, double time)
+{
+    TG_ASSERT(time > 0.0);
+    return baseline_time / time;
+}
+
+} // namespace treegion::sched

@@ -1,0 +1,82 @@
+#include "sched/pipeline.h"
+
+#include "analysis/liveness.h"
+#include "support/logging.h"
+
+namespace treegion::sched {
+
+std::string
+regionSchemeName(RegionScheme scheme)
+{
+    switch (scheme) {
+      case RegionScheme::BasicBlock: return "bb";
+      case RegionScheme::Slr: return "slr";
+      case RegionScheme::Superblock: return "sb";
+      case RegionScheme::Treegion: return "tree";
+      case RegionScheme::TreegionTailDup: return "tree-td";
+      case RegionScheme::Hyperblock: return "hyper";
+    }
+    TG_PANIC("bad RegionScheme");
+}
+
+PipelineResult
+runPipeline(ir::Function &fn, const PipelineOptions &options)
+{
+    PipelineResult result;
+    const size_t original_ops = fn.totalOps();
+
+    switch (options.scheme) {
+      case RegionScheme::BasicBlock:
+        result.regions = region::formBasicBlockRegions(fn);
+        break;
+      case RegionScheme::Slr:
+        result.regions = region::formSlrs(fn);
+        break;
+      case RegionScheme::Superblock:
+        result.regions = region::formSuperblocks(fn, options.superblock);
+        break;
+      case RegionScheme::Treegion:
+        result.regions = region::formTreegions(fn);
+        break;
+      case RegionScheme::TreegionTailDup:
+        result.regions =
+            region::formTreegionsTailDup(fn, options.tail_dup);
+        break;
+      case RegionScheme::Hyperblock:
+        result.regions = region::formHyperblocks(fn, options.hyperblock);
+        break;
+    }
+
+    result.region_stats = region::computeRegionStats(fn, result.regions);
+    result.code_expansion = region::codeExpansionFactor(fn, original_ops);
+
+    // Liveness on the (possibly tail-duplicated) CFG feeds the exit
+    // reconciliation copies.
+    analysis::Liveness live(fn);
+
+    result.schedule.entry = fn.entry();
+    for (const region::Region &r : result.regions.regions()) {
+        RegionSchedule rs =
+            scheduleRegion(fn, r, live, options.model, options.sched);
+        result.estimated_time += estimateRegionTime(rs);
+        result.total_sched_stats.renamed_defs += rs.stats.renamed_defs;
+        result.total_sched_stats.exit_copies += rs.stats.exit_copies;
+        result.total_sched_stats.speculated_ops +=
+            rs.stats.speculated_ops;
+        result.total_sched_stats.elided_ops += rs.stats.elided_ops;
+        result.schedule.regions.emplace(r.root(), std::move(rs));
+    }
+    return result;
+}
+
+double
+estimateBaselineTime(ir::Function &fn)
+{
+    PipelineOptions options;
+    options.scheme = RegionScheme::BasicBlock;
+    options.model = MachineModel::scalar1U();
+    options.sched.heuristic = Heuristic::DependenceHeight;
+    return runPipeline(fn, options).estimated_time;
+}
+
+} // namespace treegion::sched

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end compilation pipeline: region formation -> lowering ->
+ * scheduling -> performance estimate, for one function and one
+ * configuration. This is the library's main entry point and the
+ * workhorse behind every experiment.
+ */
+
+#ifndef TREEGION_SCHED_PIPELINE_H
+#define TREEGION_SCHED_PIPELINE_H
+
+#include <string>
+
+#include "region/formation.h"
+#include "region/region_stats.h"
+#include "sched/list_scheduler.h"
+#include "sched/machine_model.h"
+#include "sched/perf_model.h"
+
+namespace treegion::sched {
+
+/** Region formation schemes the paper compares. */
+enum class RegionScheme {
+    BasicBlock,       ///< baseline
+    Slr,              ///< simple linear regions
+    Superblock,       ///< traces + tail duplication (mutates the CFG)
+    Treegion,         ///< Fig. 2 treegions
+    TreegionTailDup,  ///< Fig. 11 treegions (mutates the CFG)
+    Hyperblock,       ///< if-converted DAG regions (the paper's
+                      ///< planned comparison point)
+};
+
+/** @return display name of @p scheme. */
+std::string regionSchemeName(RegionScheme scheme);
+
+/** Full pipeline configuration. */
+struct PipelineOptions
+{
+    RegionScheme scheme = RegionScheme::Treegion;
+    MachineModel model = MachineModel::wide4U();
+    SchedOptions sched;
+    region::TailDupLimits tail_dup;   ///< for TreegionTailDup
+    region::SuperblockOptions superblock;  ///< for Superblock
+    region::HyperblockOptions hyperblock;  ///< for Hyperblock
+};
+
+/** Everything the experiments need from one pipeline run. */
+struct PipelineResult
+{
+    FunctionSchedule schedule;
+    region::RegionSet regions;
+    region::RegionStats region_stats;
+    double estimated_time = 0.0;
+    double code_expansion = 1.0;  ///< vs. the pre-formation function
+    RegionSchedStats total_sched_stats;
+};
+
+/**
+ * Run the pipeline on @p fn.
+ *
+ * Tail-duplicating schemes mutate @p fn (clone blocks, split profile
+ * flow); clone the function first if the original is still needed.
+ */
+PipelineResult runPipeline(ir::Function &fn,
+                           const PipelineOptions &options);
+
+/**
+ * The paper's baseline: basic-block scheduling on the single-issue
+ * machine. @return its estimated execution time for @p fn.
+ */
+double estimateBaselineTime(ir::Function &fn);
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_PIPELINE_H

@@ -1,0 +1,95 @@
+#include "sched/priority.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace treegion::sched {
+
+std::string
+heuristicName(Heuristic heuristic)
+{
+    switch (heuristic) {
+      case Heuristic::DependenceHeight: return "dep-height";
+      case Heuristic::ExitCount: return "exit-count";
+      case Heuristic::GlobalWeight: return "global-weight";
+      case Heuristic::WeightedCount: return "weighted-count";
+    }
+    TG_PANIC("bad Heuristic");
+}
+
+std::vector<PriorityKeys>
+computePriorityKeys(ir::Function &fn, const LoweredRegion &lowered,
+                    const Ddg &ddg)
+{
+    // Exits per home block.
+    std::unordered_map<ir::BlockId, size_t> exits_at;
+    for (const LoweredExit &exit : lowered.exits)
+        ++exits_at[exit.from];
+
+    // Exits at-or-below each block, via region-internal reachability.
+    std::unordered_map<ir::BlockId, size_t> exits_below;
+    for (const auto &[block, succs] : lowered.succs_in_region) {
+        size_t count = 0;
+        for (const ir::BlockId reached : lowered.reachableFrom(block)) {
+            auto it = exits_at.find(reached);
+            if (it != exits_at.end())
+                count += it->second;
+        }
+        exits_below[block] = count;
+    }
+
+    std::vector<PriorityKeys> keys(lowered.ops.size());
+    for (size_t i = 0; i < lowered.ops.size(); ++i) {
+        keys[i].height = ddg.height(i);
+        auto it = exits_below.find(lowered.ops[i].home);
+        keys[i].exit_count = it == exits_below.end() ? 0 : it->second;
+        keys[i].weight = fn.block(lowered.ops[i].home).weight();
+    }
+    return keys;
+}
+
+std::vector<size_t>
+sortByPriority(const std::vector<PriorityKeys> &keys, Heuristic heuristic)
+{
+    std::vector<size_t> order(keys.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    auto cmp = [&](size_t a, size_t b) {
+        const PriorityKeys &ka = keys[a];
+        const PriorityKeys &kb = keys[b];
+        switch (heuristic) {
+          case Heuristic::DependenceHeight:
+            if (ka.height != kb.height)
+                return ka.height > kb.height;
+            break;
+          case Heuristic::ExitCount:
+            if (ka.exit_count != kb.exit_count)
+                return ka.exit_count > kb.exit_count;
+            if (ka.height != kb.height)
+                return ka.height > kb.height;
+            break;
+          case Heuristic::GlobalWeight:
+            if (ka.weight != kb.weight)
+                return ka.weight > kb.weight;
+            if (ka.height != kb.height)
+                return ka.height > kb.height;
+            break;
+          case Heuristic::WeightedCount:
+            if (ka.weight != kb.weight)
+                return ka.weight > kb.weight;
+            if (ka.exit_count != kb.exit_count)
+                return ka.exit_count > kb.exit_count;
+            if (ka.height != kb.height)
+                return ka.height > kb.height;
+            break;
+        }
+        return a < b;  // stable final tie-break: lowering order
+    };
+    std::sort(order.begin(), order.end(), cmp);
+    return order;
+}
+
+} // namespace treegion::sched

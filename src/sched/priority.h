@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The four treegion scheduling heuristics (paper Section 3).
+ *
+ * Each heuristic is a sort of the DDG nodes that the list scheduler
+ * consults in order:
+ *
+ *  - DependenceHeight (critical path): height, descending.
+ *  - ExitCount (speculative hedge's helped count): number of region
+ *    exits at or below the op's home block, then height.
+ *  - GlobalWeight (speculative hedge's helped weight; in a tree the
+ *    weight of all exits reached through an op equals its home
+ *    block's profile weight): weight, then height.
+ *  - WeightedCount: weight, then exit count, then height.
+ *
+ * All ties finally break on lowering order, keeping schedules
+ * deterministic.
+ */
+
+#ifndef TREEGION_SCHED_PRIORITY_H
+#define TREEGION_SCHED_PRIORITY_H
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "sched/ddg.h"
+#include "sched/lowering.h"
+
+namespace treegion::sched {
+
+/** Priority heuristics for treegion scheduling. */
+enum class Heuristic {
+    DependenceHeight,
+    ExitCount,
+    GlobalWeight,
+    WeightedCount,
+};
+
+/** @return display name, e.g. "global-weight". */
+std::string heuristicName(Heuristic heuristic);
+
+/** All four heuristics, in the paper's presentation order. */
+inline constexpr Heuristic kAllHeuristics[] = {
+    Heuristic::DependenceHeight,
+    Heuristic::ExitCount,
+    Heuristic::GlobalWeight,
+    Heuristic::WeightedCount,
+};
+
+/** Per-op priority keys. */
+struct PriorityKeys
+{
+    int height = 0;
+    size_t exit_count = 0;
+    double weight = 0.0;
+};
+
+/**
+ * Compute priority keys for every lowered op. Exit counts follow the
+ * paper's definition — the number of region exits that follow the
+ * op's home block in (region-internal) control flow — generalized
+ * through LoweredRegion::succs_in_region so it also covers DAG
+ * regions.
+ */
+std::vector<PriorityKeys> computePriorityKeys(ir::Function &fn,
+                                              const LoweredRegion &lowered,
+                                              const Ddg &ddg);
+
+/**
+ * The paper's sortDDGNodesBy*** step: @return lowered-op indices in
+ * decreasing priority under @p heuristic.
+ */
+std::vector<size_t> sortByPriority(const std::vector<PriorityKeys> &keys,
+                                   Heuristic heuristic);
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_PRIORITY_H

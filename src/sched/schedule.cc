@@ -1,0 +1,42 @@
+#include "sched/schedule.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace treegion::sched {
+
+std::string
+RegionSchedule::str(int issue_width) const
+{
+    // Collect cell text per (cycle, slot).
+    std::vector<std::vector<std::string>> grid(
+        static_cast<size_t>(length),
+        std::vector<std::string>(static_cast<size_t>(issue_width)));
+    for (const ScheduledOp &sop : ops) {
+        TG_ASSERT(sop.cycle < length && sop.slot < issue_width);
+        std::string text = sop.op.str();
+        if (sop.speculative)
+            text += " *";
+        grid[sop.cycle][sop.slot] = std::move(text);
+    }
+
+    std::vector<size_t> widths(static_cast<size_t>(issue_width), 5);
+    for (const auto &row : grid) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    for (int cyc = 0; cyc < length; ++cyc) {
+        os << cyc << ":";
+        for (size_t c = 0; c < grid[cyc].size(); ++c) {
+            os << " | " << grid[cyc][c]
+               << std::string(widths[c] - grid[cyc][c].size(), ' ');
+        }
+        os << " |\n";
+    }
+    return os.str();
+}
+
+} // namespace treegion::sched

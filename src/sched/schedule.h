@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Scheduled-code representation: the output of the region scheduler.
+ *
+ * A RegionSchedule is a rectangular grid of cycles x issue slots of
+ * ops, plus exit metadata. Exits carry reconciliation copies: the
+ * register renaming the scheduler performed is undone at each exit
+ * for the values live into the exit's target, following the paper's
+ * model in which rename copies are executed but "not used in
+ * computing speedup".
+ */
+
+#ifndef TREEGION_SCHED_SCHEDULE_H
+#define TREEGION_SCHED_SCHEDULE_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace treegion::sched {
+
+/** One op placed in the schedule. */
+struct ScheduledOp
+{
+    ir::Op op;          ///< renamed, possibly guarded op
+    int cycle = 0;      ///< 0-based MultiOp row
+    int slot = 0;       ///< issue slot within the row
+    bool speculative = false;  ///< issued above a branch it followed
+};
+
+/** A renaming reconciliation copy applied when an exit is taken. */
+struct ExitCopy
+{
+    ir::Reg dst;  ///< original architectural register
+    ir::Reg src;  ///< renamed register holding the value
+};
+
+/** One way control can leave a region schedule. */
+struct ScheduledExit
+{
+    size_t op_index;       ///< index into RegionSchedule::ops of the
+                           ///< branch op that takes this exit
+    size_t target_slot;    ///< terminator target slot (MWBR case idx)
+    ir::BlockId from;      ///< original block the exit came from
+    ir::BlockId target;    ///< destination block (kNoBlock for RET)
+    bool is_ret = false;   ///< function exit
+    double weight = 0.0;   ///< profile weight of the exit edge
+    int cycle = 0;         ///< cycle the exit branch issues in
+    std::vector<ExitCopy> copies;  ///< applied when the exit fires
+};
+
+/** Scheduler statistics for one region. */
+struct RegionSchedStats
+{
+    size_t renamed_defs = 0;    ///< destinations given fresh names
+    size_t exit_copies = 0;     ///< reconciliation copies emitted
+    size_t speculated_ops = 0;  ///< ops issued above a branch
+    size_t elided_ops = 0;      ///< removed via dominator parallelism
+};
+
+/** The schedule of one region. */
+struct RegionSchedule
+{
+    ir::BlockId root = ir::kNoBlock;  ///< region root block
+    int length = 0;                   ///< schedule height in cycles
+    std::vector<ScheduledOp> ops;     ///< sorted by (cycle, slot)
+    std::vector<ScheduledExit> exits;
+    RegionSchedStats stats;
+
+    /** Render the schedule as a cycle x slot text grid. */
+    std::string str(int issue_width) const;
+};
+
+/** All region schedules of one function, keyed by region root. */
+struct FunctionSchedule
+{
+    ir::BlockId entry = ir::kNoBlock;
+    std::unordered_map<ir::BlockId, RegionSchedule> regions;
+};
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_SCHEDULE_H

@@ -1,0 +1,99 @@
+#include "sched/schedule_verifier.h"
+
+#include <unordered_map>
+
+#include "support/string_utils.h"
+
+namespace treegion::sched {
+
+using support::strprintf;
+
+std::vector<std::string>
+verifySchedule(const RegionSchedule &sched, int issue_width)
+{
+    std::vector<std::string> problems;
+    auto err = [&](std::string msg) {
+        problems.push_back(std::move(msg));
+    };
+
+    // Placement: bounds and slot uniqueness.
+    std::unordered_map<int64_t, const ScheduledOp *> slots;
+    for (const ScheduledOp &sop : sched.ops) {
+        if (sop.cycle < 0 || sop.cycle >= sched.length) {
+            err(strprintf("op '%s' at cycle %d outside schedule "
+                          "length %d", sop.op.str().c_str(), sop.cycle,
+                          sched.length));
+        }
+        if (sop.slot < 0 || sop.slot >= issue_width) {
+            err(strprintf("op '%s' in slot %d on a %d-wide machine",
+                          sop.op.str().c_str(), sop.slot, issue_width));
+        }
+        const int64_t key =
+            (static_cast<int64_t>(sop.cycle) << 16) | sop.slot;
+        if (slots.count(key)) {
+            err(strprintf("two ops share cycle %d slot %d", sop.cycle,
+                          sop.slot));
+        }
+        slots[key] = &sop;
+    }
+
+    // Dataflow: readers wait out every writer's latency. Predicates
+    // may have several writers (PSET plus and-type compares); readers
+    // must follow all of them.
+    std::unordered_map<ir::Reg, std::vector<const ScheduledOp *>>
+        writers;
+    for (const ScheduledOp &sop : sched.ops) {
+        for (const ir::Reg &d : sop.op.dsts)
+            writers[d].push_back(&sop);
+    }
+    for (const ScheduledOp &sop : sched.ops) {
+        for (const ir::Reg &use : sop.op.usedRegs()) {
+            auto it = writers.find(use);
+            if (it == writers.end())
+                continue;  // live-in register
+            for (const ScheduledOp *w : it->second) {
+                if (w == &sop)
+                    continue;
+                if (sop.cycle < w->cycle + w->op.latency()) {
+                    err(strprintf(
+                        "'%s' (cycle %d) reads %s before '%s' "
+                        "(cycle %d, latency %d) completes",
+                        sop.op.str().c_str(), sop.cycle,
+                        use.str().c_str(), w->op.str().c_str(),
+                        w->cycle, w->op.latency()));
+                }
+            }
+        }
+    }
+
+    // Exit records point at branches and carry matching cycles.
+    for (const ScheduledExit &exit : sched.exits) {
+        if (exit.op_index >= sched.ops.size()) {
+            err("exit op_index out of range");
+            continue;
+        }
+        const ScheduledOp &branch = sched.ops[exit.op_index];
+        if (!branch.op.isBranch())
+            err(strprintf("exit points at non-branch '%s'",
+                          branch.op.str().c_str()));
+        if (exit.cycle != branch.cycle)
+            err(strprintf("exit cycle %d != branch cycle %d",
+                          exit.cycle, branch.cycle));
+    }
+    return problems;
+}
+
+std::vector<std::string>
+verifyFunctionSchedule(const FunctionSchedule &sched, int issue_width)
+{
+    std::vector<std::string> problems;
+    for (const auto &[root, rs] : sched.regions) {
+        for (std::string &p : verifySchedule(rs, issue_width)) {
+            problems.push_back(
+                strprintf("region bb%u: %s", root, p.c_str()));
+        }
+    }
+    return problems;
+}
+
+} // namespace treegion::sched

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Schedule legality checking, independent of the scheduler.
+ *
+ * Verifies machine constraints (issue width, unique slots) and
+ * dataflow constraints (every register read happens at least the
+ * producer's latency after the producer issues; exit records point at
+ * branch ops in their recorded cycles). Used by the test suite and
+ * available to users who post-process schedules.
+ */
+
+#ifndef TREEGION_SCHED_SCHEDULE_VERIFIER_H
+#define TREEGION_SCHED_SCHEDULE_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace treegion::sched {
+
+/**
+ * Check @p sched against @p issue_width.
+ *
+ * @return human-readable problems; empty when the schedule is legal
+ */
+std::vector<std::string> verifySchedule(const RegionSchedule &sched,
+                                        int issue_width);
+
+/** Check every region of @p sched. */
+std::vector<std::string>
+verifyFunctionSchedule(const FunctionSchedule &sched, int issue_width);
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_SCHEDULE_VERIFIER_H

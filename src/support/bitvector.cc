@@ -1,0 +1,129 @@
+#include "support/bitvector.h"
+
+#include "support/logging.h"
+
+namespace treegion::support {
+
+BitVector::BitVector(size_t size)
+{
+    resize(size);
+}
+
+void
+BitVector::resize(size_t size)
+{
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+}
+
+void
+BitVector::set(size_t idx)
+{
+    TG_ASSERT(idx < size_);
+    words_[idx / 64] |= (uint64_t{1} << (idx % 64));
+}
+
+void
+BitVector::reset(size_t idx)
+{
+    TG_ASSERT(idx < size_);
+    words_[idx / 64] &= ~(uint64_t{1} << (idx % 64));
+}
+
+bool
+BitVector::test(size_t idx) const
+{
+    TG_ASSERT(idx < size_);
+    return (words_[idx / 64] >> (idx % 64)) & 1;
+}
+
+void
+BitVector::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+void
+BitVector::setAll()
+{
+    for (auto &w : words_)
+        w = ~uint64_t{0};
+    // Clear bits beyond size_ in the final word.
+    if (size_ % 64 != 0 && !words_.empty())
+        words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+}
+
+size_t
+BitVector::count() const
+{
+    size_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+}
+
+bool
+BitVector::none() const
+{
+    for (uint64_t w : words_) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+bool
+BitVector::unionWith(const BitVector &other)
+{
+    TG_ASSERT(size_ == other.size_);
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        const uint64_t merged = words_[i] | other.words_[i];
+        changed |= (merged != words_[i]);
+        words_[i] = merged;
+    }
+    return changed;
+}
+
+bool
+BitVector::intersectWith(const BitVector &other)
+{
+    TG_ASSERT(size_ == other.size_);
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        const uint64_t merged = words_[i] & other.words_[i];
+        changed |= (merged != words_[i]);
+        words_[i] = merged;
+    }
+    return changed;
+}
+
+bool
+BitVector::subtract(const BitVector &other)
+{
+    TG_ASSERT(size_ == other.size_);
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        const uint64_t merged = words_[i] & ~other.words_[i];
+        changed |= (merged != words_[i]);
+        words_[i] = merged;
+    }
+    return changed;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+std::vector<size_t>
+BitVector::toIndices() const
+{
+    std::vector<size_t> out;
+    forEachSet([&](size_t idx) { out.push_back(idx); });
+    return out;
+}
+
+} // namespace treegion::support

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Dense, fixed-size bit vector used by dataflow analyses.
+ *
+ * std::vector<bool> is avoided on purpose (proxy reference pitfalls,
+ * no word-level operations); BitVector exposes the bulk set operations
+ * that liveness and dominator computations need (unionWith,
+ * intersectWith, subtract) and reports whether the receiver changed,
+ * which drives the fixpoint loops.
+ */
+
+#ifndef TREEGION_SUPPORT_BITVECTOR_H
+#define TREEGION_SUPPORT_BITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace treegion::support {
+
+/** A dense bit vector with word-at-a-time set operations. */
+class BitVector
+{
+  public:
+    /** Construct with @p size bits, all clear. */
+    explicit BitVector(size_t size = 0);
+
+    /** @return the number of bits. */
+    size_t size() const { return size_; }
+
+    /** Resize to @p size bits; new bits are clear. */
+    void resize(size_t size);
+
+    /** Set bit @p idx. */
+    void set(size_t idx);
+
+    /** Clear bit @p idx. */
+    void reset(size_t idx);
+
+    /** @return bit @p idx. */
+    bool test(size_t idx) const;
+
+    /** Clear all bits. */
+    void clear();
+
+    /** Set all bits. */
+    void setAll();
+
+    /** @return the number of set bits. */
+    size_t count() const;
+
+    /** @return true if no bit is set. */
+    bool none() const;
+
+    /** OR @p other into this. @return true if any bit changed. */
+    bool unionWith(const BitVector &other);
+
+    /** AND @p other into this. @return true if any bit changed. */
+    bool intersectWith(const BitVector &other);
+
+    /** Clear every bit set in @p other. @return true if changed. */
+    bool subtract(const BitVector &other);
+
+    /** @return true if this and @p other have equal contents. */
+    bool operator==(const BitVector &other) const;
+
+    /**
+     * Visit every set bit in ascending order.
+     *
+     * @param fn callable invoked with each set index
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t word = words_[w];
+            while (word) {
+                const int bit = __builtin_ctzll(word);
+                fn(w * 64 + static_cast<size_t>(bit));
+                word &= word - 1;
+            }
+        }
+    }
+
+    /** Collect the set bit indices into a vector. */
+    std::vector<size_t> toIndices() const;
+
+  private:
+    size_t size_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace treegion::support
+
+#endif // TREEGION_SUPPORT_BITVECTOR_H

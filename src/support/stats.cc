@@ -1,0 +1,57 @@
+#include "support/stats.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace treegion::support {
+
+void
+Accumulator::add(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+    sum_ += value;
+    ++count_;
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+Accumulator::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+void
+GeoMean::add(double value)
+{
+    TG_ASSERT(value > 0.0);
+    log_sum_ += std::log(value);
+    ++count_;
+}
+
+double
+GeoMean::value() const
+{
+    return count_ == 0 ? 1.0
+                       : std::exp(log_sum_ / static_cast<double>(count_));
+}
+
+} // namespace treegion::support

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics accumulators used by region statistics and benches.
+ */
+
+#ifndef TREEGION_SUPPORT_STATS_H
+#define TREEGION_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace treegion::support {
+
+/** Running mean / min / max / count accumulator. */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** @return number of samples added. */
+    uint64_t count() const { return count_; }
+
+    /** @return sum of samples. */
+    double sum() const { return sum_; }
+
+    /** @return mean of samples (0 when empty). */
+    double mean() const;
+
+    /** @return smallest sample (0 when empty). */
+    double min() const;
+
+    /** @return largest sample (0 when empty). */
+    double max() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Geometric mean accumulator (used for speedup averages, matching the
+ * paper's cross-benchmark summary bars).
+ */
+class GeoMean
+{
+  public:
+    /** Add one strictly positive sample. */
+    void add(double value);
+
+    /** @return geometric mean (1.0 when empty). */
+    double value() const;
+
+    /** @return number of samples. */
+    uint64_t count() const { return count_; }
+
+  private:
+    uint64_t count_ = 0;
+    double log_sum_ = 0.0;
+};
+
+} // namespace treegion::support
+
+#endif // TREEGION_SUPPORT_STATS_H

@@ -1,0 +1,57 @@
+#include "support/string_utils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace treegion::support {
+
+std::vector<std::string>
+splitString(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t end = text.find(sep, start);
+        if (end == std::string_view::npos)
+            end = text.size();
+        if (end > start)
+            out.emplace_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    const char *ws = " \t\r\n";
+    const size_t begin = text.find_first_not_of(ws);
+    if (begin == std::string_view::npos)
+        return {};
+    const size_t end = text.find_last_not_of(ws);
+    return text.substr(begin, end - begin + 1);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    const int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+} // namespace treegion::support

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ASCII table formatting for benchmark output.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures;
+ * Table renders the rows in a stable, diffable plain-text layout and
+ * can also emit CSV for downstream plotting.
+ */
+
+#ifndef TREEGION_SUPPORT_TABLE_H
+#define TREEGION_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace treegion::support {
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Format an integer. */
+    static std::string fmt(long long value);
+
+    /** Render the table, column aligned, to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace treegion::support
+
+#endif // TREEGION_SUPPORT_TABLE_H

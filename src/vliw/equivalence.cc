@@ -1,0 +1,103 @@
+#include "vliw/equivalence.h"
+
+#include <unordered_set>
+
+#include "support/string_utils.h"
+
+namespace treegion::vliw {
+
+using support::strprintf;
+
+EquivalenceReport
+checkEquivalence(ir::Function &original, ir::Function &transformed,
+                 const sched::FunctionSchedule &schedule,
+                 const std::vector<int64_t> &memory)
+{
+    EquivalenceReport report;
+
+    const ExecResult seq_orig = runSequential(original, memory);
+    if (!seq_orig.completed) {
+        report.incomplete = true;
+        report.detail = "original sequential run hit its op limit";
+        return report;
+    }
+    report.seq_ops = seq_orig.ops_executed;
+
+    const ExecResult seq_trans =
+        &original == &transformed ? seq_orig
+                                  : runSequential(transformed, memory);
+    if (!seq_trans.completed) {
+        report.incomplete = true;
+        report.detail = "transformed sequential run hit its op limit";
+        return report;
+    }
+
+    if (seq_trans.ret_value != seq_orig.ret_value) {
+        report.detail = strprintf(
+            "tail duplication changed the return value: %lld != %lld",
+            static_cast<long long>(seq_trans.ret_value),
+            static_cast<long long>(seq_orig.ret_value));
+        return report;
+    }
+    if (seq_trans.memory != seq_orig.memory) {
+        report.detail = "tail duplication changed final memory";
+        return report;
+    }
+
+    const VliwResult vliw =
+        runScheduled(transformed, schedule, memory);
+    if (!vliw.completed) {
+        report.incomplete = true;
+        report.detail = "scheduled run hit its cycle limit";
+        return report;
+    }
+    report.vliw_cycles = vliw.cycles;
+
+    if (vliw.ret_value != seq_orig.ret_value) {
+        report.detail = strprintf(
+            "scheduled return value %lld != sequential %lld",
+            static_cast<long long>(vliw.ret_value),
+            static_cast<long long>(seq_orig.ret_value));
+        return report;
+    }
+    for (size_t i = 0; i < vliw.memory.size(); ++i) {
+        if (vliw.memory[i] != seq_orig.memory[i]) {
+            report.detail = strprintf(
+                "memory[%zu]: scheduled %lld != sequential %lld", i,
+                static_cast<long long>(vliw.memory[i]),
+                static_cast<long long>(seq_orig.memory[i]));
+            return report;
+        }
+    }
+
+    // Control trace: region roots visited must match the transformed
+    // sequential block trace filtered to region roots.
+    std::unordered_set<ir::BlockId> roots;
+    for (const auto &[root, rs] : schedule.regions)
+        roots.insert(root);
+    std::vector<ir::BlockId> expected;
+    for (const ir::BlockId id : seq_trans.trace) {
+        if (roots.count(id))
+            expected.push_back(id);
+    }
+    if (expected != vliw.trace) {
+        report.detail = strprintf(
+            "control trace mismatch: %zu scheduled region entries vs "
+            "%zu expected", vliw.trace.size(), expected.size());
+        for (size_t i = 0;
+             i < std::min(expected.size(), vliw.trace.size()); ++i) {
+            if (expected[i] != vliw.trace[i]) {
+                report.detail += strprintf(
+                    " (first divergence at %zu: bb%u vs bb%u)", i,
+                    vliw.trace[i], expected[i]);
+                break;
+            }
+        }
+        return report;
+    }
+
+    report.ok = true;
+    return report;
+}
+
+} // namespace treegion::vliw

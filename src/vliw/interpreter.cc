@@ -1,0 +1,143 @@
+#include "vliw/interpreter.h"
+
+#include "support/logging.h"
+
+namespace treegion::vliw {
+
+using ir::BlockId;
+using ir::Op;
+using ir::Opcode;
+
+namespace {
+
+/** Evaluate a source operand. */
+int64_t
+value(const MachineState &state, const ir::Operand &operand)
+{
+    return operand.isImm() ? operand.imm : state.readReg(operand.reg);
+}
+
+} // namespace
+
+ExecResult
+runSequential(ir::Function &fn, std::vector<int64_t> memory,
+              const InterpOptions &options, ExecutionCounts *counts)
+{
+    MachineState state(fn.numGprs(), fn.numPreds(), std::move(memory));
+    ExecResult result;
+
+    BlockId cur = fn.entry();
+    for (;;) {
+        result.trace.push_back(cur);
+        if (counts)
+            counts->block[cur] += 1.0;
+        const ir::BasicBlock &b = fn.block(cur);
+
+        // Body ops.
+        for (size_t i = 0; i + 1 < b.ops().size(); ++i) {
+            const Op &op = b.ops()[i];
+            ++result.ops_executed;
+            if (result.ops_executed > options.max_ops) {
+                result.memory = state.memory();
+                return result;  // completed stays false
+            }
+            switch (op.opcode) {
+              case Opcode::LD:
+                state.writeReg(op.dsts[0],
+                               state.readMem(value(state, op.srcs[0]) +
+                                             op.srcs[1].imm));
+                break;
+              case Opcode::ST:
+                state.writeMem(value(state, op.srcs[0]) + op.srcs[1].imm,
+                               value(state, op.srcs[2]));
+                break;
+              case Opcode::CMPP: {
+                const bool cmp = ir::evalCmp(op.cmp,
+                                             value(state, op.srcs[0]),
+                                             value(state, op.srcs[1]));
+                state.writeReg(op.dsts[0], cmp);
+                if (op.dsts.size() > 1)
+                    state.writeReg(op.dsts[1], !cmp);
+                break;
+              }
+              case Opcode::PSET:
+                state.writeReg(op.dsts[0], 1);
+                break;
+              case Opcode::PCLR:
+                state.writeReg(op.dsts[0], 0);
+                break;
+              case Opcode::CMPPA:
+                if (!ir::evalCmp(op.cmp, value(state, op.srcs[0]),
+                                 value(state, op.srcs[1]))) {
+                    state.writeReg(op.dsts[0], 0);
+                }
+                break;
+              case Opcode::CMPPO:
+                if (ir::evalCmp(op.cmp, value(state, op.srcs[0]),
+                                value(state, op.srcs[1]))) {
+                    state.writeReg(op.dsts[0], 1);
+                }
+                break;
+              case Opcode::PBR:
+                break;  // no simulated semantics
+              default: {
+                const int64_t a = value(state, op.srcs[0]);
+                const int64_t c = op.srcs.size() > 1
+                                      ? value(state, op.srcs[1])
+                                      : 0;
+                state.writeReg(op.dsts[0],
+                               ir::evalAlu(op.opcode, a, c));
+                break;
+              }
+            }
+        }
+
+        // Terminator.
+        const Op &term = b.terminator();
+        ++result.ops_executed;
+        size_t taken_slot = 0;
+        switch (term.opcode) {
+          case Opcode::RET:
+            result.completed = true;
+            result.ret_value = value(state, term.srcs[0]);
+            result.memory = state.memory();
+            result.wrapped_stores = state.wrappedStores();
+            return result;
+          case Opcode::BRU:
+            taken_slot = 0;
+            break;
+          case Opcode::BRCT:
+          case Opcode::BRCF: {
+            const bool p = state.readReg(term.srcs[0].reg) != 0;
+            const bool taken = term.opcode == Opcode::BRCT ? p : !p;
+            taken_slot = taken ? 0 : 1;
+            break;
+          }
+          case Opcode::MWBR: {
+            const int64_t sel = value(state, term.srcs[0]);
+            bool found = false;
+            for (size_t i = 0; i < term.caseValues.size(); ++i) {
+                if (term.caseValues[i] == sel) {
+                    taken_slot = i;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                TG_PANIC("MWBR selector %lld matches no case in bb%u",
+                         static_cast<long long>(sel), cur);
+            }
+            break;
+          }
+          default:
+            TG_PANIC("bad terminator in bb%u", cur);
+        }
+        if (counts)
+            counts->edge[ExecutionCounts::edgeKey(cur, taken_slot)] +=
+                1.0;
+        cur = term.targets[taken_slot];
+        TG_ASSERT(cur != ir::kNoBlock);
+    }
+}
+
+} // namespace treegion::vliw

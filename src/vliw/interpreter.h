@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sequential reference interpreter.
+ *
+ * Executes a function's sequential IR block by block. It is the
+ * semantic ground truth the VLIW schedule simulator is checked
+ * against, and the engine behind the profiler (per-block and per-edge
+ * execution counts).
+ */
+
+#ifndef TREEGION_VLIW_INTERPRETER_H
+#define TREEGION_VLIW_INTERPRETER_H
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+#include "vliw/machine_state.h"
+
+namespace treegion::vliw {
+
+/** Outcome of one sequential execution. */
+struct ExecResult
+{
+    bool completed = false;   ///< false: step/cycle limit hit
+    int64_t ret_value = 0;    ///< RET operand value
+    std::vector<int64_t> memory;       ///< final memory image
+    std::vector<ir::BlockId> trace;    ///< blocks entered, in order
+    uint64_t ops_executed = 0;
+    uint64_t wrapped_stores = 0;
+};
+
+/** Per-block and per-edge execution counts from one or more runs. */
+struct ExecutionCounts
+{
+    std::unordered_map<ir::BlockId, double> block;
+    /** Keyed by (block << 32) | target slot. */
+    std::unordered_map<uint64_t, double> edge;
+
+    /** Key helper. */
+    static uint64_t
+    edgeKey(ir::BlockId from, size_t slot)
+    {
+        return (static_cast<uint64_t>(from) << 32) |
+               static_cast<uint64_t>(slot);
+    }
+};
+
+/** Sequential execution options. */
+struct InterpOptions
+{
+    uint64_t max_ops = 2'000'000;  ///< abort runaway programs
+};
+
+/**
+ * Run @p fn sequentially on @p memory.
+ *
+ * @param fn the function (must verify at Schedulable level)
+ * @param memory initial data memory
+ * @param options limits
+ * @param counts when non-null, block/edge counts are accumulated here
+ */
+ExecResult runSequential(ir::Function &fn, std::vector<int64_t> memory,
+                         const InterpOptions &options = {},
+                         ExecutionCounts *counts = nullptr);
+
+} // namespace treegion::vliw
+
+#endif // TREEGION_VLIW_INTERPRETER_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Architectural state shared by the sequential interpreter and the
+ * VLIW schedule simulator: the three register files and word-
+ * addressed data memory.
+ *
+ * Loads wrap out-of-range addresses modulo the memory size, modeling
+ * Play-Doh dismissible (non-faulting) loads so speculated loads are
+ * always safe; both execution engines use identical semantics so
+ * results stay comparable. Stores that wrap are counted, which lets
+ * tests assert that non-speculative code never goes out of bounds.
+ */
+
+#ifndef TREEGION_VLIW_MACHINE_STATE_H
+#define TREEGION_VLIW_MACHINE_STATE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/operand.h"
+
+namespace treegion::vliw {
+
+/** Register files plus data memory. */
+class MachineState
+{
+  public:
+    /**
+     * @param num_gprs GPR file size
+     * @param num_preds predicate file size
+     * @param memory initial data memory image (word addressed)
+     */
+    MachineState(uint32_t num_gprs, uint32_t num_preds,
+                 std::vector<int64_t> memory);
+
+    /** Read a register (BTRs read as 0; they carry no semantics). */
+    int64_t readReg(ir::Reg r) const;
+
+    /** Write a register. */
+    void writeReg(ir::Reg r, int64_t value);
+
+    /** Read memory, wrapping the address (dismissible load). */
+    int64_t readMem(int64_t addr);
+
+    /** Write memory, wrapping the address (counted). */
+    void writeMem(int64_t addr, int64_t value);
+
+    /** @return the full memory image. */
+    const std::vector<int64_t> &memory() const { return memory_; }
+
+    /** @return loads+stores whose address wrapped. */
+    uint64_t wrappedAccesses() const { return wrapped_; }
+
+    /** @return wrapped stores only (should be 0 for valid programs). */
+    uint64_t wrappedStores() const { return wrapped_stores_; }
+
+  private:
+    size_t wrap(int64_t addr, bool is_store);
+
+    std::vector<int64_t> gprs_;
+    std::vector<int64_t> preds_;
+    std::vector<int64_t> memory_;
+    uint64_t wrapped_ = 0;
+    uint64_t wrapped_stores_ = 0;
+};
+
+} // namespace treegion::vliw
+
+#endif // TREEGION_VLIW_MACHINE_STATE_H

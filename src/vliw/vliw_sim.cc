@@ -1,0 +1,293 @@
+#include "vliw/vliw_sim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace treegion::vliw {
+
+using ir::BlockId;
+using ir::Op;
+using ir::Opcode;
+using sched::RegionSchedule;
+using sched::ScheduledExit;
+using sched::ScheduledOp;
+
+namespace {
+
+/** A register write in flight. */
+struct PendingWrite
+{
+    uint64_t ready;  ///< first cycle (within the region) it is visible
+    ir::Reg reg;
+    int64_t value;
+};
+
+int64_t
+value(const MachineState &state, const ir::Operand &operand)
+{
+    return operand.isImm() ? operand.imm : state.readReg(operand.reg);
+}
+
+bool
+guardTrue(const MachineState &state, const Op &op)
+{
+    return !op.guard || state.readReg(*op.guard) != 0;
+}
+
+/** Rows of a region schedule, precomputed. */
+struct RegionRows
+{
+    std::vector<std::vector<const ScheduledOp *>> rows;
+    /** exits by (op index in RegionSchedule::ops). */
+    std::unordered_map<size_t, std::vector<const ScheduledExit *>> exits;
+};
+
+RegionRows
+buildRows(const RegionSchedule &rs)
+{
+    RegionRows out;
+    out.rows.resize(static_cast<size_t>(rs.length));
+    for (const ScheduledOp &sop : rs.ops)
+        out.rows[static_cast<size_t>(sop.cycle)].push_back(&sop);
+    for (auto &row : out.rows) {
+        std::sort(row.begin(), row.end(),
+                  [](const ScheduledOp *a, const ScheduledOp *b) {
+                      return a->slot < b->slot;
+                  });
+    }
+    for (const ScheduledExit &exit : rs.exits)
+        out.exits[exit.op_index].push_back(&exit);
+    return out;
+}
+
+} // namespace
+
+VliwResult
+runScheduled(ir::Function &fn, const sched::FunctionSchedule &sched,
+             std::vector<int64_t> memory, const VliwOptions &options)
+{
+    MachineState state(fn.numGprs(), fn.numPreds(), std::move(memory));
+    VliwResult result;
+
+    // Precompute rows per region.
+    std::unordered_map<BlockId, RegionRows> rows_by_root;
+    for (const auto &[root, rs] : sched.regions)
+        rows_by_root.emplace(root, buildRows(rs));
+
+    // Index of each scheduled op within its region's op vector, for
+    // exit lookup.
+    std::unordered_map<BlockId, std::unordered_map<const ScheduledOp *,
+                                                   size_t>>
+        op_indices;
+    for (const auto &[root, rs] : sched.regions) {
+        auto &map = op_indices[root];
+        for (size_t i = 0; i < rs.ops.size(); ++i)
+            map.emplace(&rs.ops[i], i);
+    }
+
+    BlockId cur = sched.entry;
+    std::vector<PendingWrite> pending;
+
+    auto commit = [&](uint64_t upto) {
+        size_t kept = 0;
+        for (PendingWrite &w : pending) {
+            if (w.ready <= upto)
+                state.writeReg(w.reg, w.value);
+            else
+                pending[kept++] = w;
+        }
+        pending.resize(kept);
+    };
+
+    while (result.cycles < options.max_cycles) {
+        auto sit = sched.regions.find(cur);
+        if (sit == sched.regions.end())
+            TG_PANIC("no region schedule rooted at bb%u", cur);
+        const RegionSchedule &rs = sit->second;
+        const RegionRows &rr = rows_by_root.at(cur);
+        result.trace.push_back(cur);
+        ++result.regions_executed;
+        pending.clear();
+
+        const ScheduledExit *fired = nullptr;
+        for (uint64_t cyc = 0;
+             cyc < static_cast<uint64_t>(rs.length) && !fired; ++cyc) {
+            commit(cyc);
+            ++result.cycles;
+            if (result.cycles >= options.max_cycles)
+                break;
+
+            int64_t ret_value = 0;
+            for (const ScheduledOp *sop : rr.rows[cyc]) {
+                const Op &op = sop->op;
+                ++result.ops_executed;
+                switch (op.opcode) {
+                  case Opcode::LD:
+                    // Address read from committed state; the loaded
+                    // value lands after the load latency.
+                    pending.push_back(
+                        {cyc + static_cast<uint64_t>(op.latency()),
+                         op.dsts[0],
+                         state.readMem(value(state, op.srcs[0]) +
+                                       op.srcs[1].imm)});
+                    break;
+                  case Opcode::ST:
+                    if (guardTrue(state, op)) {
+                        state.writeMem(value(state, op.srcs[0]) +
+                                           op.srcs[1].imm,
+                                       value(state, op.srcs[2]));
+                    }
+                    break;
+                  case Opcode::CMPP: {
+                    const bool guard = guardTrue(state, op);
+                    const bool cmp =
+                        ir::evalCmp(op.cmp, value(state, op.srcs[0]),
+                                    value(state, op.srcs[1]));
+                    pending.push_back(
+                        {cyc + 1, op.dsts[0], guard && cmp});
+                    if (op.dsts.size() > 1)
+                        pending.push_back(
+                            {cyc + 1, op.dsts[1], guard && !cmp});
+                    break;
+                  }
+                  case Opcode::PSET:
+                    pending.push_back({cyc + 1, op.dsts[0], 1});
+                    break;
+                  case Opcode::PCLR:
+                    pending.push_back({cyc + 1, op.dsts[0], 0});
+                    break;
+                  case Opcode::CMPPA:
+                    // And-type compare: clears the predicate when the
+                    // condition fails, leaves it untouched otherwise,
+                    // so several CMPPAs may share a cycle.
+                    if (!ir::evalCmp(op.cmp, value(state, op.srcs[0]),
+                                     value(state, op.srcs[1]))) {
+                        pending.push_back({cyc + 1, op.dsts[0], 0});
+                    }
+                    break;
+                  case Opcode::CMPPO:
+                    // Or-type compare: the dual of CMPPA.
+                    if (ir::evalCmp(op.cmp, value(state, op.srcs[0]),
+                                    value(state, op.srcs[1]))) {
+                        pending.push_back({cyc + 1, op.dsts[0], 1});
+                    }
+                    break;
+                  case Opcode::PBR:
+                    break;
+                  case Opcode::BRU:
+                  case Opcode::BRCT:
+                  case Opcode::BRCF:
+                  case Opcode::MWBR:
+                  case Opcode::RET: {
+                    const ScheduledExit *exit = nullptr;
+                    const size_t idx = op_indices.at(cur).at(sop);
+                    auto eit = rr.exits.find(idx);
+                    if (op.opcode == Opcode::BRU) {
+                        TG_ASSERT(eit != rr.exits.end());
+                        exit = eit->second.front();
+                    } else if (op.opcode == Opcode::BRCT ||
+                               op.opcode == Opcode::BRCF) {
+                        const bool p =
+                            state.readReg(op.srcs[0].reg) != 0;
+                        const bool take =
+                            op.opcode == Opcode::BRCT ? p : !p;
+                        if (take) {
+                            TG_ASSERT(eit != rr.exits.end());
+                            exit = eit->second.front();
+                        }
+                    } else if (op.opcode == Opcode::MWBR) {
+                        if (guardTrue(state, op)) {
+                            const int64_t sel =
+                                value(state, op.srcs[0]);
+                            size_t slot = SIZE_MAX;
+                            for (size_t i = 0;
+                                 i < op.caseValues.size(); ++i) {
+                                if (op.caseValues[i] == sel) {
+                                    slot = i;
+                                    break;
+                                }
+                            }
+                            if (slot == SIZE_MAX) {
+                                TG_PANIC("MWBR selector %lld matches "
+                                         "no case",
+                                         static_cast<long long>(sel));
+                            }
+                            if (op.targets[slot] != ir::kNoBlock) {
+                                TG_ASSERT(eit != rr.exits.end());
+                                for (const ScheduledExit *cand :
+                                     eit->second) {
+                                    if (cand->target_slot == slot) {
+                                        exit = cand;
+                                        break;
+                                    }
+                                }
+                                TG_ASSERT(exit != nullptr);
+                            }
+                        }
+                    } else {  // RET
+                        if (guardTrue(state, op)) {
+                            TG_ASSERT(eit != rr.exits.end());
+                            exit = eit->second.front();
+                            ret_value = value(state, op.srcs[0]);
+                        }
+                    }
+                    if (exit) {
+                        TG_ASSERT(!fired &&
+                                  "two exits fired in one cycle");
+                        fired = exit;
+                    }
+                    break;
+                  }
+                  default: {
+                    // Plain computation. Usually unguarded
+                    // (speculative); hyperblock merge copies are
+                    // guarded MOVs whose write is conditional.
+                    if (!guardTrue(state, op))
+                        break;
+                    const int64_t a = value(state, op.srcs[0]);
+                    const int64_t b = op.srcs.size() > 1
+                                          ? value(state, op.srcs[1])
+                                          : 0;
+                    pending.push_back(
+                        {cyc + static_cast<uint64_t>(op.latency()),
+                         op.dsts[0], ir::evalAlu(op.opcode, a, b)});
+                    break;
+                  }
+                }
+            }
+
+            if (fired) {
+                // Writes reaching visibility next cycle are
+                // architectural at the exit boundary.
+                commit(cyc + 1);
+                // Reconciliation copies: parallel read, then write.
+                std::vector<std::pair<ir::Reg, int64_t>> writes;
+                writes.reserve(fired->copies.size());
+                for (const sched::ExitCopy &copy : fired->copies)
+                    writes.emplace_back(copy.dst,
+                                        state.readReg(copy.src));
+                for (const auto &[dst, val] : writes)
+                    state.writeReg(dst, val);
+                result.copies_applied += fired->copies.size();
+
+                if (fired->is_ret) {
+                    result.completed = true;
+                    result.ret_value = ret_value;
+                    result.memory = state.memory();
+                    return result;
+                }
+                cur = fired->target;
+            }
+        }
+        if (!fired && result.cycles < options.max_cycles)
+            TG_PANIC("region bb%u fell through without an exit",
+                     rs.root);
+    }
+
+    result.memory = state.memory();
+    return result;  // cycle limit hit; completed stays false
+}
+
+} // namespace treegion::vliw

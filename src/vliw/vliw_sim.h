@@ -1,0 +1,69 @@
+/**
+ * @file
+ * VLIW schedule simulator.
+ *
+ * Executes a FunctionSchedule with Play-Doh MultiOp semantics:
+ *
+ *  - All ops of a row read architectural state as of the start of
+ *    the cycle; register writes commit "latency" cycles later
+ *    (visible to rows issued at cycle + latency).
+ *  - Memory ops within a row execute in slot order, so a store and a
+ *    dependent memory op may legally share a cycle (the scheduler
+ *    emits them slot-ordered).
+ *  - Guarded ops take effect only when their predicate is true;
+ *    CMPP writes guard AND cmp / guard AND NOT cmp unconditionally.
+ *  - At most one exit branch of a row may fire (path predicates are
+ *    mutually exclusive; the simulator asserts this). When an exit
+ *    fires, writes becoming visible in the next cycle are committed,
+ *    the exit's reconciliation copies restore the original registers,
+ *    and control moves to the target region's schedule. A region must
+ *    exit through a branch; running off the end is a scheduler bug.
+ *
+ * The cycle count this simulator reports equals the paper's
+ * estimate: each region execution costs exit-cycle + 1.
+ */
+
+#ifndef TREEGION_VLIW_VLIW_SIM_H
+#define TREEGION_VLIW_VLIW_SIM_H
+
+#include "sched/schedule.h"
+#include "vliw/interpreter.h"
+
+namespace treegion::vliw {
+
+/** Outcome of one scheduled execution. */
+struct VliwResult
+{
+    bool completed = false;
+    int64_t ret_value = 0;
+    std::vector<int64_t> memory;
+    std::vector<ir::BlockId> trace;  ///< region roots entered, in order
+    uint64_t cycles = 0;
+    uint64_t regions_executed = 0;
+    uint64_t copies_applied = 0;
+    uint64_t ops_executed = 0;
+};
+
+/** Simulation limits. */
+struct VliwOptions
+{
+    uint64_t max_cycles = 20'000'000;
+};
+
+/**
+ * Execute @p sched on @p memory.
+ *
+ * @param fn the function the schedule was produced from (register
+ *        file sizes)
+ * @param sched the scheduled code
+ * @param memory initial data memory
+ * @param options limits
+ */
+VliwResult runScheduled(ir::Function &fn,
+                        const sched::FunctionSchedule &sched,
+                        std::vector<int64_t> memory,
+                        const VliwOptions &options = {});
+
+} // namespace treegion::vliw
+
+#endif // TREEGION_VLIW_VLIW_SIM_H

@@ -1,0 +1,41 @@
+#include "workloads/profiler.h"
+
+#include "vliw/interpreter.h"
+
+namespace treegion::workloads {
+
+ProfileSummary
+profileFunction(ir::Function &fn, size_t mem_words,
+                const ProfileOptions &options)
+{
+    ProfileSummary summary;
+    vliw::ExecutionCounts counts;
+    for (int run = 0; run < options.runs; ++run) {
+        auto memory = makeInputMemory(
+            mem_words, options.input_seed * 0x9e3779b9ULL + run,
+            options.data_max);
+        const vliw::ExecResult result =
+            vliw::runSequential(fn, std::move(memory), {}, &counts);
+        if (result.completed) {
+            ++summary.completed_runs;
+            summary.total_ops += result.ops_executed;
+        }
+    }
+
+    fn.forEachBlockMut([&](ir::BasicBlock &b) {
+        auto it = counts.block.find(b.id());
+        b.setWeight(it == counts.block.end() ? 0.0 : it->second);
+        const size_t n_targets =
+            b.hasTerminator() ? b.terminator().targets.size() : 0;
+        b.edgeWeights().assign(n_targets, 0.0);
+        for (size_t slot = 0; slot < n_targets; ++slot) {
+            auto eit = counts.edge.find(
+                vliw::ExecutionCounts::edgeKey(b.id(), slot));
+            if (eit != counts.edge.end())
+                b.edgeWeights()[slot] = eit->second;
+        }
+    });
+    return summary;
+}
+
+} // namespace treegion::workloads

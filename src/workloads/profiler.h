@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Training-input profiler.
+ *
+ * Runs the sequential program on a family of seeded input images and
+ * writes the accumulated block/edge execution counts into the
+ * function's profile fields - the same mechanism as the paper's
+ * training-input profiling runs. A different input seed family gives
+ * a "reference input" profile for the profile-variation experiments.
+ */
+
+#ifndef TREEGION_WORKLOADS_PROFILER_H
+#define TREEGION_WORKLOADS_PROFILER_H
+
+#include "ir/module.h"
+#include "workloads/synthetic.h"
+
+namespace treegion::workloads {
+
+/** Profiling configuration. */
+struct ProfileOptions
+{
+    uint64_t input_seed = 42;  ///< input family seed
+    int runs = 20;             ///< independent executions
+    int data_max = 100;        ///< input data range
+};
+
+/** Profiling outcome. */
+struct ProfileSummary
+{
+    int completed_runs = 0;
+    uint64_t total_ops = 0;  ///< dynamic sequential ops
+};
+
+/**
+ * Profile @p fn and install block/edge weights.
+ *
+ * @param fn the function (weights are overwritten)
+ * @param mem_words memory image size
+ * @param options input family and run count
+ */
+ProfileSummary profileFunction(ir::Function &fn, size_t mem_words,
+                               const ProfileOptions &options = {});
+
+} // namespace treegion::workloads
+
+#endif // TREEGION_WORKLOADS_PROFILER_H

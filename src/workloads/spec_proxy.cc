@@ -1,0 +1,194 @@
+#include "workloads/spec_proxy.h"
+
+namespace treegion::workloads {
+
+std::vector<ProxySpec>
+specint95Proxies()
+{
+    std::vector<ProxySpec> proxies;
+
+    {
+        // compress: small and loopy, tight kernels, few switches.
+        GenParams p;
+        p.seed = 0xC0301;
+        p.top_units = 10;
+        p.max_depth = 2;
+        p.p_straight = 0.15;
+        p.p_if = 0.28;
+        p.p_ifelse = 0.22;
+        p.p_switch = 0.00;
+        p.p_ladder = 0.03;
+        p.p_loop = 0.32;
+        p.nest_prob = 0.35;
+        p.block_ops_min = 4;
+        p.block_ops_max = 9;
+        p.bias = 0.75;
+        proxies.push_back({"compress", p});
+    }
+    {
+        // gcc: big and branchy with occasional very wide multiway
+        // branches, most of whose destinations never execute.
+        GenParams p;
+        p.seed = 0x6CC02;
+        p.top_units = 44;
+        p.max_depth = 3;
+        p.p_straight = 0.12;
+        p.p_if = 0.24;
+        p.p_ifelse = 0.26;
+        p.p_switch = 0.05;
+        p.p_ladder = 0.05;
+        p.p_loop = 0.28;
+        p.switch_width_min = 10;
+        p.switch_width_max = 24;
+        p.switch_arm_nest_prob = 0.12;
+        p.switch_arm_ops_min = 1;
+        p.switch_arm_ops_max = 3;
+        p.nest_prob = 0.35;
+        p.block_ops_min = 3;
+        p.block_ops_max = 8;
+        p.bias = 0.62;
+        proxies.push_back({"gcc", p});
+    }
+    {
+        // go: branchy if/else evaluation code, few switches.
+        GenParams p;
+        p.seed = 0x60003;
+        p.top_units = 34;
+        p.max_depth = 3;
+        p.p_straight = 0.12;
+        p.p_if = 0.28;
+        p.p_ifelse = 0.28;
+        p.p_switch = 0.02;
+        p.p_ladder = 0.04;
+        p.p_loop = 0.26;
+        p.switch_width_min = 6;
+        p.switch_width_max = 12;
+        p.nest_prob = 0.35;
+        p.block_ops_min = 3;
+        p.block_ops_max = 8;
+        p.bias = 0.58;
+        proxies.push_back({"go", p});
+    }
+    {
+        // ijpeg: loops around heavily biased branches - treegions
+        // where one path executes essentially always.
+        GenParams p;
+        p.seed = 0x19E604;
+        p.top_units = 14;
+        p.max_depth = 2;
+        p.p_straight = 0.12;
+        p.p_if = 0.26;
+        p.p_ifelse = 0.24;
+        p.p_switch = 0.00;
+        p.p_ladder = 0.02;
+        p.p_loop = 0.36;
+        p.nest_prob = 0.35;
+        p.block_ops_min = 4;
+        p.block_ops_max = 9;
+        p.bias = 0.985;
+        proxies.push_back({"ijpeg", p});
+    }
+    {
+        // li: interpreter-style dispatch with modest switches.
+        GenParams p;
+        p.seed = 0x11905;
+        p.top_units = 18;
+        p.max_depth = 2;
+        p.p_straight = 0.14;
+        p.p_if = 0.24;
+        p.p_ifelse = 0.24;
+        p.p_switch = 0.06;
+        p.p_ladder = 0.06;
+        p.p_loop = 0.26;
+        p.switch_width_min = 4;
+        p.switch_width_max = 8;
+        p.switch_arm_ops_min = 1;
+        p.switch_arm_ops_max = 3;
+        p.nest_prob = 0.35;
+        p.block_ops_min = 3;
+        p.block_ops_max = 7;
+        p.bias = 0.68;
+        proxies.push_back({"li", p});
+    }
+    {
+        // m88ksim: moderate branching with larger basic blocks and
+        // deeper nesting (its treegions are the biggest on average).
+        GenParams p;
+        p.seed = 0x88806;
+        p.top_units = 18;
+        p.max_depth = 3;
+        p.p_straight = 0.14;
+        p.p_if = 0.22;
+        p.p_ifelse = 0.30;
+        p.p_switch = 0.03;
+        p.p_ladder = 0.05;
+        p.p_loop = 0.26;
+        p.switch_width_min = 6;
+        p.switch_width_max = 14;
+        p.switch_arm_ops_min = 1;
+        p.switch_arm_ops_max = 3;
+        p.nest_prob = 0.45;
+        p.block_ops_min = 5;
+        p.block_ops_max = 11;
+        p.bias = 0.72;
+        proxies.push_back({"m88ksim", p});
+    }
+    {
+        // perl: mostly branchy glue with rare but extremely wide
+        // dispatch switches.
+        GenParams p;
+        p.seed = 0x9E2107;
+        p.top_units = 40;
+        p.max_depth = 3;
+        p.p_straight = 0.12;
+        p.p_if = 0.24;
+        p.p_ifelse = 0.26;
+        p.p_switch = 0.06;
+        p.p_ladder = 0.04;
+        p.p_loop = 0.28;
+        p.switch_width_min = 12;
+        p.switch_width_max = 32;
+        p.switch_arm_nest_prob = 0.10;
+        p.switch_arm_ops_min = 1;
+        p.switch_arm_ops_max = 3;
+        p.nest_prob = 0.35;
+        p.block_ops_min = 3;
+        p.block_ops_max = 8;
+        p.bias = 0.60;
+        proxies.push_back({"perl", p});
+    }
+    {
+        // vortex: large blocks and early-exit ladders (validation
+        // chains) - linearized regions with equal block weights.
+        GenParams p;
+        p.seed = 0x50208;
+        p.top_units = 22;
+        p.max_depth = 2;
+        p.p_straight = 0.22;
+        p.p_if = 0.18;
+        p.p_ifelse = 0.14;
+        p.p_switch = 0.02;
+        p.p_ladder = 0.18;
+        p.p_loop = 0.26;
+        p.switch_width_min = 4;
+        p.switch_width_max = 8;
+        p.ladder_len_min = 3;
+        p.ladder_len_max = 5;
+        p.ladder_break = 0.05;
+        p.ladder_dead_prob = 0.7;
+        p.nest_prob = 0.35;
+        p.block_ops_min = 6;
+        p.block_ops_max = 13;
+        p.bias = 0.70;
+        proxies.push_back({"vortex", p});
+    }
+    return proxies;
+}
+
+std::unique_ptr<ir::Module>
+buildProxy(const ProxySpec &spec)
+{
+    return generateProgram(spec.name, spec.params);
+}
+
+} // namespace treegion::workloads

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SPECint95 proxy workloads.
+ *
+ * The paper evaluates on SPECint95 binaries compiled through
+ * IMPACT/Elcor, which we cannot run; each proxy is a synthetic
+ * program whose generator parameters are tuned to reproduce the
+ * benchmark's CFG character as the paper describes it:
+ *
+ *  - compress: small, loopy, moderately biased branches.
+ *  - gcc: large, switch-heavy (wide multiway branches with many
+ *    zero-weight destinations rooting wide, shallow treegions).
+ *  - go: large, branchy if/else code.
+ *  - ijpeg: heavily biased treegions (a single path executes ~100%
+ *    of the time) inside loops.
+ *  - li: small functions, modest switches, interpreter-style mix.
+ *  - m88ksim: moderate branching with larger basic blocks.
+ *  - perl: very wide switches plus branchy glue.
+ *  - vortex: large blocks and early-exit ladders (linearized regions
+ *    whose most frequent exit is the bottom one).
+ */
+
+#ifndef TREEGION_WORKLOADS_SPEC_PROXY_H
+#define TREEGION_WORKLOADS_SPEC_PROXY_H
+
+#include <vector>
+
+#include "workloads/synthetic.h"
+
+namespace treegion::workloads {
+
+/** A named proxy benchmark. */
+struct ProxySpec
+{
+    std::string name;
+    GenParams params;
+};
+
+/** The eight SPECint95 proxies, in the paper's table order. */
+std::vector<ProxySpec> specint95Proxies();
+
+/** Generate the program for @p spec. */
+std::unique_ptr<ir::Module> buildProxy(const ProxySpec &spec);
+
+} // namespace treegion::workloads
+
+#endif // TREEGION_WORKLOADS_SPEC_PROXY_H

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Hyperblock tests (the paper's future-work extension): DAG region
+ * formation invariants, if-conversion lowering (wired-OR merge
+ * predicates, guarded merge selects), and end-to-end equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/liveness.h"
+#include "ir/builder.h"
+#include "region/formation.h"
+#include "sched/hyperblock_lowering.h"
+#include "sched/pipeline.h"
+#include "vliw/equivalence.h"
+#include "workloads/profiler.h"
+#include "workloads/synthetic.h"
+
+namespace treegion {
+namespace {
+
+using ir::BlockId;
+using ir::Builder;
+using ir::CmpKind;
+using ir::Function;
+using ir::Opcode;
+using ir::Reg;
+
+/** Diamond with a join computing from both arms' values, then ret. */
+struct JoinDiamond
+{
+    Function fn{"f"};
+    BlockId a, b, c, join;
+    Reg acc;
+
+    JoinDiamond()
+    {
+        Builder bu(fn);
+        a = bu.newBlock();
+        b = bu.newBlock();
+        c = bu.newBlock();
+        join = bu.newBlock();
+        fn.setEntry(a);
+
+        bu.setInsertPoint(a);
+        const Reg base = bu.movi(0);
+        const Reg x = bu.load(base, 1);
+        acc = bu.movi(0);
+        bu.condBr(CmpKind::LT, Builder::R(x), Builder::I(50), b, c);
+
+        bu.setInsertPoint(b);
+        fn.appendOp(b, ir::makeBinary(Opcode::ADD, acc, Builder::R(x),
+                                      Builder::I(100)));
+        bu.bru(join);
+        bu.setInsertPoint(c);
+        fn.appendOp(c, ir::makeBinary(Opcode::SUB, acc, Builder::R(x),
+                                      Builder::I(100)));
+        bu.bru(join);
+
+        bu.setInsertPoint(join);
+        const Reg y = bu.binary(Opcode::ADD, Builder::R(acc),
+                                Builder::I(1));
+        bu.ret(Builder::R(y));
+
+        fn.forEachBlockMut([](ir::BasicBlock &blk) {
+            blk.setWeight(10.0);
+            blk.edgeWeights().assign(
+                blk.successors().size(),
+                10.0 / std::max<size_t>(1, blk.successors().size()));
+        });
+    }
+};
+
+TEST(HyperblockFormation, AbsorbsTheWholeDiamond)
+{
+    JoinDiamond g;
+    region::RegionSet set = region::formHyperblocks(g.fn);
+    EXPECT_TRUE(set.validate(g.fn).empty());
+    // One hyperblock covering all four blocks (the join's preds are
+    // both inside, so it is absorbed without duplication).
+    ASSERT_EQ(set.regions().size(), 1u);
+    const region::Region &h = set.regions()[0];
+    EXPECT_EQ(h.kind(), region::RegionKind::Hyperblock);
+    EXPECT_EQ(h.size(), 4u);
+    EXPECT_EQ(h.pathCount(), 2u);
+    // No code duplication at all.
+    EXPECT_EQ(set.regions()[0].totalOps(g.fn), g.fn.totalOps());
+}
+
+TEST(HyperblockFormation, WeightThresholdExcludesColdBlocks)
+{
+    JoinDiamond g;
+    // Freeze the cold arm out of the region.
+    g.fn.block(g.c).setWeight(0.1);
+    region::HyperblockOptions options;
+    options.min_weight_ratio = 0.2;
+    region::RegionSet set = region::formHyperblocks(g.fn, options);
+    EXPECT_TRUE(set.validate(g.fn).empty());
+    const region::Region &h = set.regions()[0];
+    EXPECT_FALSE(h.contains(g.c));
+    // The join now has an outside predecessor, so it cannot join the
+    // hyperblock either.
+    EXPECT_FALSE(h.contains(g.join));
+}
+
+TEST(HyperblockFormation, PartitionInvariantOnGeneratedPrograms)
+{
+    for (uint64_t seed : {4u, 17u, 29u}) {
+        workloads::GenParams p;
+        p.seed = seed;
+        p.top_units = 10;
+        p.mem_words = 1024;
+        auto mod = workloads::generateProgram("x", p);
+        ir::Function &fn = mod->function("main");
+        workloads::profileFunction(fn, 1024);
+        region::RegionSet set = region::formHyperblocks(fn);
+        const auto problems = set.validate(fn);
+        EXPECT_TRUE(problems.empty()) << problems.front();
+        // Hyperblock formation never mutates the CFG.
+        for (const region::Region &r : set.regions()) {
+            EXPECT_LE(r.pathCount(),
+                      region::HyperblockOptions{}.path_limit + 4);
+        }
+    }
+}
+
+TEST(HyperblockLowering, MergeUsesWiredOrAndSelects)
+{
+    JoinDiamond g;
+    region::RegionSet set = region::formHyperblocks(g.fn);
+    analysis::Liveness live(g.fn);
+    const auto lowered =
+        sched::lowerHyperblock(g.fn, set.regions()[0], live);
+
+    size_t pclr = 0, cmppo = 0, guarded_movs = 0;
+    for (const auto &lop : lowered.ops) {
+        pclr += (lop.op.opcode == Opcode::PCLR);
+        cmppo += (lop.op.opcode == Opcode::CMPPO);
+        if (lop.op.opcode == Opcode::MOV && lop.op.guard)
+            ++guarded_movs;
+    }
+    EXPECT_EQ(pclr, 1u);          // one merge predicate
+    EXPECT_EQ(cmppo, 2u);         // OR of two edge predicates
+    EXPECT_EQ(guarded_movs, 2u);  // one select per edge for acc
+    // One RET exit, guarded by the merge predicate.
+    ASSERT_EQ(lowered.exits.size(), 1u);
+    EXPECT_TRUE(lowered.exits[0].is_ret);
+    EXPECT_TRUE(
+        lowered.ops[lowered.exits[0].op_index].op.guard.has_value());
+}
+
+TEST(HyperblockLowering, NoDuplicationUnlikeTailDup)
+{
+    JoinDiamond g;
+    // Hyperblock covers the diamond without cloning; tail-duplicated
+    // treegion clones the join.
+    ir::Function fh = g.fn.clone();
+    region::formHyperblocks(fh);
+    EXPECT_EQ(fh.totalOps(), g.fn.totalOps());
+
+    ir::Function ft = g.fn.clone();
+    region::formTreegionsTailDup(ft, {});
+    EXPECT_GT(ft.totalOps(), g.fn.totalOps());
+}
+
+TEST(Hyperblock, SelectsPickTheRightValue)
+{
+    JoinDiamond g;
+    ir::Function f = g.fn.clone();
+    sched::PipelineOptions options;
+    options.scheme = sched::RegionScheme::Hyperblock;
+    options.model = sched::MachineModel::wide8U();
+    const auto result = sched::runPipeline(f, options);
+
+    struct Case
+    {
+        int64_t x, expect;
+    };
+    const Case cases[] = {{10, 10 + 100 + 1}, {90, 90 - 100 + 1}};
+    for (const Case &c : cases) {
+        std::vector<int64_t> mem(64, 0);
+        mem[1] = c.x;
+        const auto run = vliw::runScheduled(f, result.schedule, mem);
+        ASSERT_TRUE(run.completed);
+        EXPECT_EQ(run.ret_value, c.expect) << "x=" << c.x;
+    }
+}
+
+class HyperblockEquivalence : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(HyperblockEquivalence, MatchesSequentialSemantics)
+{
+    workloads::GenParams p;
+    p.seed = GetParam();
+    p.top_units = 8;
+    p.max_depth = 3;
+    p.mem_words = 1024;
+    auto mod = workloads::generateProgram("x", p);
+    ir::Function &original = mod->function("main");
+    workloads::profileFunction(original, 1024);
+
+    for (const int width : {1, 4, 8}) {
+        ir::Function f = original.clone();
+        sched::PipelineOptions options;
+        options.scheme = sched::RegionScheme::Hyperblock;
+        options.model = sched::MachineModel::custom(width);
+        const auto result = sched::runPipeline(f, options);
+        for (uint64_t input = 0; input < 3; ++input) {
+            auto mem = workloads::makeInputMemory(1024, 300 + input,
+                                                  100);
+            const auto report = vliw::checkEquivalence(
+                original, f, result.schedule, mem);
+            EXPECT_TRUE(report.ok)
+                << "seed=" << GetParam() << " width=" << width << ": "
+                << report.detail;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperblockEquivalence,
+                         ::testing::Values(1, 7, 19, 37, 53, 71));
+
+TEST(Hyperblock, CoversMoreFlowThanTreegionsWithoutDuplication)
+{
+    // The point of hyperblocks: merge points join the region via
+    // predication instead of duplication, so region count drops with
+    // zero code growth.
+    workloads::GenParams p;
+    p.seed = 12;
+    p.top_units = 10;
+    p.mem_words = 1024;
+    auto mod = workloads::generateProgram("x", p);
+    ir::Function &fn = mod->function("main");
+    workloads::profileFunction(fn, 1024);
+
+    ir::Function f1 = fn.clone();
+    const auto tree = region::formTreegions(f1);
+    ir::Function f2 = fn.clone();
+    const auto hyper = region::formHyperblocks(f2);
+    EXPECT_LE(hyper.regions().size(), tree.regions().size());
+    EXPECT_EQ(f2.totalOps(), fn.totalOps());
+}
+
+} // namespace
+} // namespace treegion

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Region lowering tests: path predicates (wired-AND form), renaming,
+ * guarded stores, exit records and reconciliation copies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/liveness.h"
+#include "ir/builder.h"
+#include "region/formation.h"
+#include "sched/lowering.h"
+
+namespace treegion::sched {
+namespace {
+
+using ir::BlockId;
+using ir::Builder;
+using ir::CmpKind;
+using ir::Function;
+using ir::Opcode;
+using ir::Reg;
+
+/** a -> (b|c), both exits to a shared merge d; d returns. */
+struct Diamond
+{
+    Function fn{"f"};
+    BlockId a, b, c, d;
+
+    Diamond()
+    {
+        Builder bu(fn);
+        a = bu.newBlock();
+        b = bu.newBlock();
+        c = bu.newBlock();
+        d = bu.newBlock();
+        fn.setEntry(a);
+
+        bu.setInsertPoint(a);
+        const Reg base = bu.movi(0);
+        const Reg x = bu.load(base, 1);
+        bu.condBr(CmpKind::LT, Builder::R(x), Builder::I(5), b, c);
+
+        bu.setInsertPoint(b);
+        const Reg t = bu.binary(Opcode::ADD, Builder::R(x),
+                                Builder::I(1));
+        bu.store(base, 9, Builder::R(t));
+        bu.bru(d);
+
+        bu.setInsertPoint(c);
+        const Reg u = bu.binary(Opcode::SUB, Builder::R(x),
+                                Builder::I(1));
+        bu.store(base, 9, Builder::R(u));
+        bu.bru(d);
+
+        bu.setInsertPoint(d);
+        const Reg y = bu.load(base, 9);
+        bu.ret(Builder::R(y));
+    }
+};
+
+LoweredRegion
+lowerTopRegion(Function &fn)
+{
+    region::RegionSet set = region::formTreegions(fn);
+    analysis::Liveness live(fn);
+    const region::Region &top =
+        set.regions()[set.regionIndexOf(fn.entry())];
+    return lowerRegion(fn, top, live);
+}
+
+TEST(Lowering, StoresAreGuardedByPathPredicates)
+{
+    Diamond g;
+    const LoweredRegion lowered = lowerTopRegion(g.fn);
+
+    size_t guarded_stores = 0;
+    for (const LoweredOp &lop : lowered.ops) {
+        if (lop.op.isStore()) {
+            EXPECT_TRUE(lop.pinned);
+            EXPECT_TRUE(lop.op.guard.has_value())
+                << "store from a conditional block must be guarded";
+            ++guarded_stores;
+        }
+    }
+    EXPECT_EQ(guarded_stores, 2u);
+}
+
+TEST(Lowering, WiredAndPredicates)
+{
+    Diamond g;
+    const LoweredRegion lowered = lowerTopRegion(g.fn);
+
+    // Each side's predicate: one PSET plus one CMPPA (depth 1).
+    size_t psets = 0, ands = 0;
+    for (const LoweredOp &lop : lowered.ops) {
+        if (lop.op.opcode == Opcode::PSET) {
+            ++psets;
+            EXPECT_EQ(lop.kind, LoweredKind::PredDef);
+        }
+        if (lop.op.opcode == Opcode::CMPPA)
+            ++ands;
+    }
+    EXPECT_EQ(psets, 2u);
+    EXPECT_EQ(ands, 2u);
+    // The two sides' CMPPA kinds are complements.
+    std::vector<CmpKind> kinds;
+    for (const LoweredOp &lop : lowered.ops) {
+        if (lop.op.opcode == Opcode::CMPPA)
+            kinds.push_back(lop.op.cmp);
+    }
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], ir::negateCmpKind(kinds[1]));
+}
+
+TEST(Lowering, ExitsCarryWeightsAndCopies)
+{
+    Diamond g;
+    g.fn.block(g.a).setWeight(10);
+    g.fn.block(g.a).edgeWeights() = {7, 3};
+    g.fn.block(g.b).setWeight(7);
+    g.fn.block(g.b).edgeWeights() = {7};
+    g.fn.block(g.c).setWeight(3);
+    g.fn.block(g.c).edgeWeights() = {3};
+    g.fn.block(g.d).setWeight(10);
+
+    const LoweredRegion lowered = lowerTopRegion(g.fn);
+    ASSERT_EQ(lowered.exits.size(), 2u);
+    double total = 0.0;
+    for (const LoweredExit &exit : lowered.exits) {
+        EXPECT_EQ(exit.target, g.d);
+        EXPECT_FALSE(exit.is_ret);
+        total += exit.weight;
+        // Only the base pointer (defined in the region, used by d's
+        // load) is live into d; the per-arm temporaries are dead.
+        ASSERT_EQ(exit.copies.size(), 1u);
+        EXPECT_EQ(exit.copies[0].dst, ir::gpr(0));
+    }
+    EXPECT_DOUBLE_EQ(total, 10.0);
+}
+
+TEST(Lowering, CopiesRestoreLiveOutValues)
+{
+    // Like Diamond, but d consumes the register computed in b/c.
+    Function fn("f");
+    Builder bu(fn);
+    const BlockId a = bu.newBlock();
+    const BlockId b = bu.newBlock();
+    const BlockId c = bu.newBlock();
+    const BlockId d = bu.newBlock();
+    fn.setEntry(a);
+
+    bu.setInsertPoint(a);
+    const Reg base = bu.movi(0);
+    const Reg x = bu.load(base, 1);
+    const Reg acc = bu.movi(0);
+    bu.condBr(CmpKind::LT, Builder::R(x), Builder::I(5), b, c);
+
+    bu.setInsertPoint(b);
+    fn.appendOp(b, ir::makeBinary(Opcode::ADD, acc, Builder::R(x),
+                                  Builder::I(1)));
+    bu.bru(d);
+    bu.setInsertPoint(c);
+    fn.appendOp(c, ir::makeBinary(Opcode::SUB, acc, Builder::R(x),
+                                  Builder::I(1)));
+    bu.bru(d);
+    bu.setInsertPoint(d);
+    bu.ret(Builder::R(acc));
+
+    const LoweredRegion lowered = lowerTopRegion(fn);
+    ASSERT_EQ(lowered.exits.size(), 2u);
+    for (const LoweredExit &exit : lowered.exits) {
+        ASSERT_EQ(exit.copies.size(), 1u);
+        EXPECT_EQ(exit.copies[0].dst, acc);
+        EXPECT_NE(exit.copies[0].src, acc);
+    }
+    // The two exits restore acc from different renamed registers.
+    EXPECT_NE(lowered.exits[0].copies[0].src,
+              lowered.exits[1].copies[0].src);
+}
+
+TEST(Lowering, FullRenamingGivesSingleGprDefs)
+{
+    Diamond g;
+    const LoweredRegion lowered = lowerTopRegion(g.fn);
+    std::vector<Reg> defs;
+    for (const LoweredOp &lop : lowered.ops) {
+        for (const Reg &d : lop.op.dsts) {
+            if (d.cls == ir::RegClass::Gpr) {
+                EXPECT_EQ(std::count(defs.begin(), defs.end(), d), 0)
+                    << "GPR defined twice after renaming";
+                defs.push_back(d);
+            }
+        }
+    }
+    EXPECT_GT(lowered.renamed_defs, 0u);
+}
+
+TEST(Lowering, InternalBruDissolves)
+{
+    // a -> b -> ret: the BRU between a and b disappears; the region's
+    // only branch op is the RET.
+    Function fn("f");
+    Builder bu(fn);
+    const BlockId a = bu.newBlock();
+    const BlockId b = bu.newBlock();
+    fn.setEntry(a);
+    bu.setInsertPoint(a);
+    const Reg x = bu.movi(3);
+    bu.bru(b);
+    bu.setInsertPoint(b);
+    const Reg y = bu.binary(Opcode::ADD, Builder::R(x), Builder::I(1));
+    bu.ret(Builder::R(y));
+
+    const LoweredRegion lowered = lowerTopRegion(fn);
+    size_t branches = 0;
+    for (const LoweredOp &lop : lowered.ops)
+        branches += lop.op.isBranch();
+    EXPECT_EQ(branches, 1u);
+    ASSERT_EQ(lowered.exits.size(), 1u);
+    EXPECT_TRUE(lowered.exits[0].is_ret);
+    // RET from an unconditional chain carries no guard.
+    EXPECT_FALSE(lowered.ops[lowered.exits[0].op_index].op.guard);
+}
+
+TEST(Lowering, MwbrInternalCasesFallThrough)
+{
+    Function fn("f");
+    Builder bu(fn);
+    const BlockId a = bu.newBlock();
+    const BlockId arm0 = bu.newBlock();
+    const BlockId arm1 = bu.newBlock();
+    const BlockId shared = bu.newBlock();  // merge: arm for cases 2+3
+    fn.setEntry(a);
+
+    bu.setInsertPoint(a);
+    const Reg base = bu.movi(0);
+    const Reg x = bu.load(base, 1);
+    const Reg sel = bu.binary(Opcode::REM, Builder::R(x),
+                              Builder::I(4));
+    bu.mwbr(sel, {arm0, arm1, shared, shared});
+
+    for (const BlockId arm : {arm0, arm1, shared}) {
+        bu.setInsertPoint(arm);
+        bu.ret(Builder::I(arm));
+    }
+
+    const LoweredRegion lowered = lowerTopRegion(fn);
+    // arm0 and arm1 are absorbed (single pred); `shared` has two
+    // preds and stays outside, so the MWBR survives with two live
+    // cases and two fall-through cases.
+    const LoweredOp *mwbr = nullptr;
+    for (const LoweredOp &lop : lowered.ops) {
+        if (lop.op.opcode == Opcode::MWBR)
+            mwbr = &lop;
+    }
+    ASSERT_NE(mwbr, nullptr);
+    EXPECT_EQ(mwbr->op.targets[0], ir::kNoBlock);
+    EXPECT_EQ(mwbr->op.targets[1], ir::kNoBlock);
+    EXPECT_EQ(mwbr->op.targets[2], shared);
+    EXPECT_EQ(mwbr->op.targets[3], shared);
+    // Exits: two MWBR cases plus the two absorbed arms' RETs.
+    size_t mwbr_exits = 0, rets = 0;
+    for (const LoweredExit &exit : lowered.exits) {
+        if (exit.is_ret)
+            ++rets;
+        else
+            ++mwbr_exits;
+    }
+    EXPECT_EQ(mwbr_exits, 2u);
+    EXPECT_EQ(rets, 2u);
+}
+
+TEST(Lowering, PbrMaterialization)
+{
+    Diamond g;
+    region::RegionSet set = region::formTreegions(g.fn);
+    analysis::Liveness live(g.fn);
+    const region::Region &top =
+        set.regions()[set.regionIndexOf(g.fn.entry())];
+    LowerOptions options;
+    options.materialize_pbr = true;
+    const LoweredRegion lowered = lowerRegion(g.fn, top, live, options);
+    size_t pbrs = 0;
+    for (const LoweredOp &lop : lowered.ops)
+        pbrs += (lop.op.opcode == Opcode::PBR);
+    EXPECT_EQ(pbrs, 2u);  // one per block-targeting exit
+    EXPECT_EQ(lowered.extra_deps.size(), 2u);
+}
+
+} // namespace
+} // namespace treegion::sched

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the support utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/bitvector.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/string_utils.h"
+#include "support/table.h"
+
+namespace treegion::support {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnit)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoolProbabilityRoughlyRespected)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights)
+{
+    Rng rng(17);
+    std::vector<double> w = {0.0, 1.0, 0.0, 3.0};
+    for (int i = 0; i < 1000; ++i) {
+        const size_t idx = rng.nextWeighted(w);
+        EXPECT_TRUE(idx == 1 || idx == 3);
+    }
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(BitVector, SetTestReset)
+{
+    BitVector bv(130);
+    EXPECT_TRUE(bv.none());
+    bv.set(0);
+    bv.set(64);
+    bv.set(129);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(129));
+    EXPECT_FALSE(bv.test(1));
+    EXPECT_EQ(bv.count(), 3u);
+    bv.reset(64);
+    EXPECT_FALSE(bv.test(64));
+    EXPECT_EQ(bv.count(), 2u);
+}
+
+TEST(BitVector, SetAllRespectsSize)
+{
+    BitVector bv(70);
+    bv.setAll();
+    EXPECT_EQ(bv.count(), 70u);
+}
+
+TEST(BitVector, UnionReportsChange)
+{
+    BitVector a(100), b(100);
+    b.set(42);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b));
+    EXPECT_TRUE(a.test(42));
+}
+
+TEST(BitVector, SubtractAndIntersect)
+{
+    BitVector a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    BitVector inter = a;
+    EXPECT_TRUE(inter.intersectWith(b));
+    EXPECT_EQ(inter.count(), 1u);
+    EXPECT_TRUE(inter.test(2));
+    EXPECT_TRUE(a.subtract(b));
+    EXPECT_TRUE(a.test(1));
+    EXPECT_FALSE(a.test(2));
+}
+
+TEST(BitVector, ForEachSetAscending)
+{
+    BitVector bv(200);
+    bv.set(3);
+    bv.set(77);
+    bv.set(199);
+    EXPECT_EQ(bv.toIndices(), (std::vector<size_t>{3, 77, 199}));
+}
+
+TEST(Accumulator, Basic)
+{
+    Accumulator acc;
+    acc.add(2.0);
+    acc.add(4.0);
+    acc.add(6.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+}
+
+TEST(GeoMean, Basic)
+{
+    GeoMean gm;
+    gm.add(2.0);
+    gm.add(8.0);
+    EXPECT_NEAR(gm.value(), 4.0, 1e-9);
+}
+
+TEST(GeoMean, EmptyIsOne)
+{
+    GeoMean gm;
+    EXPECT_DOUBLE_EQ(gm.value(), 1.0);
+}
+
+TEST(StringUtils, Split)
+{
+    const auto parts = splitString("a,bb,,c", ',');
+    EXPECT_EQ(parts, (std::vector<std::string>{"a", "bb", "c"}));
+}
+
+TEST(StringUtils, Trim)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, StartsWith)
+{
+    EXPECT_TRUE(startsWith("block bb3", "block"));
+    EXPECT_FALSE(startsWith("bb", "block"));
+}
+
+TEST(StringUtils, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", Table::fmt(1.5, 1)});
+    t.addRow({"long-name", Table::fmt(12LL)});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("long-name"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+}
+
+} // namespace
+} // namespace treegion::support

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tail duplication tests: semantic preservation, profile flow
+ * conservation, and the Fig. 12 example (duplicating a merge point
+ * into a treegion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/profile.h"
+#include "ir/builder.h"
+#include "region/formation.h"
+#include "vliw/interpreter.h"
+#include "workloads/profiler.h"
+#include "workloads/synthetic.h"
+
+namespace treegion::region {
+namespace {
+
+using ir::BlockId;
+using ir::Builder;
+using ir::CmpKind;
+using ir::Function;
+using ir::Reg;
+
+/** Diamond with a shared tail: a -> (b|c) -> tail -> ret. */
+struct SharedTail
+{
+    Function fn{"f"};
+    BlockId a, b, c, tail;
+
+    SharedTail()
+    {
+        Builder bu(fn);
+        a = bu.newBlock();
+        b = bu.newBlock();
+        c = bu.newBlock();
+        tail = bu.newBlock();
+        fn.setEntry(a);
+
+        bu.setInsertPoint(a);
+        const Reg base = bu.movi(0);
+        const Reg x = bu.load(base, 1);
+        bu.condBr(CmpKind::LT, Builder::R(x), Builder::I(50), b, c);
+
+        bu.setInsertPoint(b);
+        bu.store(base, 2, Builder::I(1));
+        bu.bru(tail);
+
+        bu.setInsertPoint(c);
+        bu.store(base, 2, Builder::I(2));
+        bu.bru(tail);
+
+        bu.setInsertPoint(tail);
+        const Reg y = bu.load(base, 2);
+        bu.ret(Builder::R(y));
+
+        fn.block(a).setWeight(10);
+        fn.block(a).edgeWeights() = {6, 4};
+        fn.block(b).setWeight(6);
+        fn.block(b).edgeWeights() = {6};
+        fn.block(c).setWeight(4);
+        fn.block(c).edgeWeights() = {4};
+        fn.block(tail).setWeight(10);
+    }
+};
+
+TEST(TailDuplicateEdge, SplitsProfileFlow)
+{
+    SharedTail g;
+    const BlockId clone = tailDuplicateEdge(g.fn, g.b, 0);
+    EXPECT_EQ(g.fn.block(clone).originalId(), g.tail);
+    EXPECT_DOUBLE_EQ(g.fn.block(clone).weight(), 6.0);
+    EXPECT_DOUBLE_EQ(g.fn.block(g.tail).weight(), 4.0);
+    // b now targets the clone; c still targets the original.
+    EXPECT_EQ(g.fn.block(g.b).successors()[0], clone);
+    EXPECT_EQ(g.fn.block(g.c).successors()[0], g.tail);
+    EXPECT_FALSE(g.fn.isMergePoint(g.tail));
+    EXPECT_TRUE(analysis::checkProfileConsistency(g.fn).empty());
+}
+
+TEST(TailDuplicateEdge, PreservesSemantics)
+{
+    SharedTail g;
+    Function copy = g.fn.clone();
+    tailDuplicateEdge(copy, g.b, 0);
+
+    for (int64_t x : {10, 90}) {
+        std::vector<int64_t> mem(64, 0);
+        mem[1] = x;
+        const auto before = vliw::runSequential(g.fn, mem);
+        const auto after = vliw::runSequential(copy, mem);
+        ASSERT_TRUE(before.completed && after.completed);
+        EXPECT_EQ(before.ret_value, after.ret_value);
+        EXPECT_EQ(before.memory, after.memory);
+    }
+}
+
+TEST(TreegionTailDup, Fig12AbsorbsBothCopies)
+{
+    SharedTail g;
+    TailDupLimits limits;
+    RegionSet set = formTreegionsTailDup(g.fn, limits);
+    EXPECT_TRUE(set.validate(g.fn).empty());
+    // The whole CFG becomes one treegion: tail is duplicated for one
+    // side and directly absorbed for the other (Fig. 12), so every
+    // original execution path is a unique tree path.
+    EXPECT_EQ(set.regions().size(), 1u);
+    const Region &tree = set.regions()[0];
+    EXPECT_EQ(tree.pathCount(), 2u);
+    EXPECT_EQ(tree.size(), 5u);
+}
+
+TEST(TreegionTailDup, MergeLimitBlocksWideMerges)
+{
+    // A 5-way merge with merge_limit 4 must stay unduplicated unless
+    // it is a function exit.
+    Function fn("f");
+    Builder bu(fn);
+    const BlockId entry = bu.newBlock();
+    std::vector<BlockId> arms;
+    for (int i = 0; i < 5; ++i)
+        arms.push_back(bu.newBlock());
+    const BlockId join = bu.newBlock();
+    const BlockId done = bu.newBlock();
+    fn.setEntry(entry);
+
+    bu.setInsertPoint(entry);
+    const Reg base = bu.movi(0);
+    const Reg x = bu.load(base, 1);
+    const Reg sel = bu.binary(ir::Opcode::REM, Builder::R(x),
+                              Builder::I(5));
+    bu.mwbr(sel, arms);
+    for (const BlockId arm : arms) {
+        bu.setInsertPoint(arm);
+        bu.store(base, 3, Builder::I(arm));
+        bu.bru(join);
+    }
+    bu.setInsertPoint(join);
+    bu.store(base, 4, Builder::I(9));
+    bu.bru(done);
+    bu.setInsertPoint(done);
+    bu.ret(Builder::I(0));
+    workloads::GenParams dummy;
+    (void)dummy;
+    fn.forEachBlockMut([](ir::BasicBlock &blk) {
+        blk.setWeight(1.0);
+        blk.edgeWeights().assign(blk.successors().size(),
+                                 1.0 /
+                                     std::max<size_t>(
+                                         1, blk.successors().size()));
+    });
+
+    TailDupLimits limits;
+    limits.merge_limit = 4;
+    ir::Function f = fn.clone();
+    RegionSet set = formTreegionsTailDup(f, limits);
+    EXPECT_TRUE(set.validate(f).empty());
+    // join (5 preds, has successors) must not be duplicated: the
+    // total op count is unchanged except possibly for `done`
+    // (single-pred absorption adds nothing).
+    EXPECT_EQ(f.totalOps(), fn.totalOps());
+
+    // Raising the limit to 5 lets the join be duplicated.
+    TailDupLimits loose;
+    loose.merge_limit = 5;
+    loose.expansion_limit = 8.0;
+    ir::Function f2 = fn.clone();
+    formTreegionsTailDup(f2, loose);
+    EXPECT_GT(f2.totalOps(), fn.totalOps());
+}
+
+TEST(TreegionTailDup, FunctionExitsExemptFromMergeLimit)
+{
+    // A RET block with many predecessors is still duplicated
+    // ("merge points with no successors in the CFG, such as function
+    // exits").
+    Function fn("f");
+    Builder bu(fn);
+    const BlockId entry = bu.newBlock();
+    std::vector<BlockId> arms;
+    for (int i = 0; i < 6; ++i)
+        arms.push_back(bu.newBlock());
+    const BlockId ret = bu.newBlock();
+    fn.setEntry(entry);
+
+    bu.setInsertPoint(entry);
+    const Reg base = bu.movi(0);
+    const Reg x = bu.load(base, 1);
+    const Reg sel = bu.binary(ir::Opcode::REM, Builder::R(x),
+                              Builder::I(6));
+    bu.mwbr(sel, arms);
+    for (const BlockId arm : arms) {
+        bu.setInsertPoint(arm);
+        bu.store(base, 2, Builder::I(arm));
+        bu.bru(ret);
+    }
+    bu.setInsertPoint(ret);
+    const Reg y = bu.load(base, 2);
+    bu.ret(Builder::R(y));
+    fn.forEachBlockMut([](ir::BasicBlock &blk) {
+        blk.setWeight(1.0);
+        blk.edgeWeights().assign(blk.successors().size(),
+                                 1.0 /
+                                     std::max<size_t>(
+                                         1, blk.successors().size()));
+    });
+
+    TailDupLimits limits;
+    limits.merge_limit = 4;
+    limits.expansion_limit = 4.0;
+    RegionSet set = formTreegionsTailDup(fn, limits);
+    EXPECT_TRUE(set.validate(fn).empty());
+    // The RET block was duplicated into the arms.
+    size_t ret_copies = 0;
+    fn.forEachBlock([&](const ir::BasicBlock &blk) {
+        if (blk.originalId() == ret)
+            ++ret_copies;
+    });
+    EXPECT_GT(ret_copies, 1u);
+}
+
+TEST(TailDup, SemanticsPreservedOnGeneratedPrograms)
+{
+    for (uint64_t seed : {3u, 14u, 159u}) {
+        workloads::GenParams p;
+        p.seed = seed;
+        p.top_units = 8;
+        p.mem_words = 1024;
+        auto mod = workloads::generateProgram("x", p);
+        ir::Function &fn = mod->function("main");
+        workloads::profileFunction(fn, 1024);
+
+        for (int variant = 0; variant < 2; ++variant) {
+            ir::Function f = fn.clone();
+            if (variant == 0)
+                formTreegionsTailDup(f, {});
+            else
+                formSuperblocks(f, {});
+            EXPECT_TRUE(
+                analysis::checkProfileConsistency(f, 1e-6).empty())
+                << "seed " << seed << " variant " << variant;
+            for (uint64_t input = 0; input < 3; ++input) {
+                auto mem = workloads::makeInputMemory(1024,
+                                                      500 + input, 100);
+                const auto before = vliw::runSequential(fn, mem);
+                const auto after = vliw::runSequential(f, mem);
+                ASSERT_TRUE(before.completed && after.completed);
+                EXPECT_EQ(before.ret_value, after.ret_value);
+                EXPECT_EQ(before.memory, after.memory);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace treegion::region
