@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dominator_parallelism.dir/ablation_dominator_parallelism.cc.o"
+  "CMakeFiles/ablation_dominator_parallelism.dir/ablation_dominator_parallelism.cc.o.d"
+  "ablation_dominator_parallelism"
+  "ablation_dominator_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dominator_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pbr.dir/ablation_pbr.cc.o"
+  "CMakeFiles/ablation_pbr.dir/ablation_pbr.cc.o.d"
+  "ablation_pbr"
+  "ablation_pbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profile_variation.dir/ablation_profile_variation.cc.o"
+  "CMakeFiles/ablation_profile_variation.dir/ablation_profile_variation.cc.o.d"
+  "ablation_profile_variation"
+  "ablation_profile_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tail_dup_limits.dir/ablation_tail_dup_limits.cc.o"
+  "CMakeFiles/ablation_tail_dup_limits.dir/ablation_tail_dup_limits.cc.o.d"
+  "ablation_tail_dup_limits"
+  "ablation_tail_dup_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tail_dup_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

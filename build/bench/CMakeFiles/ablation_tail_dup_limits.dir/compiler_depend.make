@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_tail_dup_limits.
+# This may be replaced when dependencies are built.

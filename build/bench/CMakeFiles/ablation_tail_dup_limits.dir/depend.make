@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tail_dup_limits.
+# This may be replaced when dependencies are built.

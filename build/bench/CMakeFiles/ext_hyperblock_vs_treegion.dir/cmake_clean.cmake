@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hyperblock_vs_treegion.dir/ext_hyperblock_vs_treegion.cc.o"
+  "CMakeFiles/ext_hyperblock_vs_treegion.dir/ext_hyperblock_vs_treegion.cc.o.d"
+  "ext_hyperblock_vs_treegion"
+  "ext_hyperblock_vs_treegion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hyperblock_vs_treegion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

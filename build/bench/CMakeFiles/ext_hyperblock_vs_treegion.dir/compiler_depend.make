@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_hyperblock_vs_treegion.
+# This may be replaced when dependencies are built.

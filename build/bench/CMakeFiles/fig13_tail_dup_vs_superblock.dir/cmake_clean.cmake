@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tail_dup_vs_superblock.dir/fig13_tail_dup_vs_superblock.cc.o"
+  "CMakeFiles/fig13_tail_dup_vs_superblock.dir/fig13_tail_dup_vs_superblock.cc.o.d"
+  "fig13_tail_dup_vs_superblock"
+  "fig13_tail_dup_vs_superblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tail_dup_vs_superblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_tail_dup_vs_superblock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dependence_height.dir/fig6_dependence_height.cc.o"
+  "CMakeFiles/fig6_dependence_height.dir/fig6_dependence_height.cc.o.d"
+  "fig6_dependence_height"
+  "fig6_dependence_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dependence_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_heuristics.dir/fig8_heuristics.cc.o"
+  "CMakeFiles/fig8_heuristics.dir/fig8_heuristics.cc.o.d"
+  "fig8_heuristics"
+  "fig8_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_treegion_stats.dir/table1_treegion_stats.cc.o"
+  "CMakeFiles/table1_treegion_stats.dir/table1_treegion_stats.cc.o.d"
+  "table1_treegion_stats"
+  "table1_treegion_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_treegion_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

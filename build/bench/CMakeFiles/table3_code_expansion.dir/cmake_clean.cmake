@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_code_expansion.dir/table3_code_expansion.cc.o"
+  "CMakeFiles/table3_code_expansion.dir/table3_code_expansion.cc.o.d"
+  "table3_code_expansion"
+  "table3_code_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_code_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

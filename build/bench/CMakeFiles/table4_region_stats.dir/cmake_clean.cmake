@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_region_stats.dir/table4_region_stats.cc.o"
+  "CMakeFiles/table4_region_stats.dir/table4_region_stats.cc.o.d"
+  "table4_region_stats"
+  "table4_region_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_region_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

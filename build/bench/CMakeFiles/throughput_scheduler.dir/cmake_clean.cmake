@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_scheduler.dir/throughput_scheduler.cc.o"
+  "CMakeFiles/throughput_scheduler.dir/throughput_scheduler.cc.o.d"
+  "throughput_scheduler"
+  "throughput_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

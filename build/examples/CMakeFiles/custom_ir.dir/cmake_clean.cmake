@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_ir.dir/custom_ir.cpp.o"
+  "CMakeFiles/custom_ir.dir/custom_ir.cpp.o.d"
+  "custom_ir"
+  "custom_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_tour.dir/heuristic_tour.cpp.o"
+  "CMakeFiles/heuristic_tour.dir/heuristic_tour.cpp.o.d"
+  "heuristic_tour"
+  "heuristic_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_schedule.dir/simulate_schedule.cpp.o"
+  "CMakeFiles/simulate_schedule.dir/simulate_schedule.cpp.o.d"
+  "simulate_schedule"
+  "simulate_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

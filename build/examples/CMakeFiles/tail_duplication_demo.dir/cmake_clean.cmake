@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_duplication_demo.dir/tail_duplication_demo.cpp.o"
+  "CMakeFiles/tail_duplication_demo.dir/tail_duplication_demo.cpp.o.d"
+  "tail_duplication_demo"
+  "tail_duplication_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_duplication_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/tg_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/tg_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/tg_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/tg_analysis.dir/liveness.cc.o.d"
+  "/root/repo/src/analysis/loops.cc" "src/analysis/CMakeFiles/tg_analysis.dir/loops.cc.o" "gcc" "src/analysis/CMakeFiles/tg_analysis.dir/loops.cc.o.d"
+  "/root/repo/src/analysis/profile.cc" "src/analysis/CMakeFiles/tg_analysis.dir/profile.cc.o" "gcc" "src/analysis/CMakeFiles/tg_analysis.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/tg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_analysis.dir/dominators.cc.o"
+  "CMakeFiles/tg_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/tg_analysis.dir/liveness.cc.o"
+  "CMakeFiles/tg_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/tg_analysis.dir/loops.cc.o"
+  "CMakeFiles/tg_analysis.dir/loops.cc.o.d"
+  "CMakeFiles/tg_analysis.dir/profile.cc.o"
+  "CMakeFiles/tg_analysis.dir/profile.cc.o.d"
+  "libtg_analysis.a"
+  "libtg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

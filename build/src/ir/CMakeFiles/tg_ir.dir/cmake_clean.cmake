@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_ir.dir/basic_block.cc.o"
+  "CMakeFiles/tg_ir.dir/basic_block.cc.o.d"
+  "CMakeFiles/tg_ir.dir/builder.cc.o"
+  "CMakeFiles/tg_ir.dir/builder.cc.o.d"
+  "CMakeFiles/tg_ir.dir/function.cc.o"
+  "CMakeFiles/tg_ir.dir/function.cc.o.d"
+  "CMakeFiles/tg_ir.dir/module.cc.o"
+  "CMakeFiles/tg_ir.dir/module.cc.o.d"
+  "CMakeFiles/tg_ir.dir/op.cc.o"
+  "CMakeFiles/tg_ir.dir/op.cc.o.d"
+  "CMakeFiles/tg_ir.dir/opcode.cc.o"
+  "CMakeFiles/tg_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/tg_ir.dir/parser.cc.o"
+  "CMakeFiles/tg_ir.dir/parser.cc.o.d"
+  "CMakeFiles/tg_ir.dir/printer.cc.o"
+  "CMakeFiles/tg_ir.dir/printer.cc.o.d"
+  "CMakeFiles/tg_ir.dir/verifier.cc.o"
+  "CMakeFiles/tg_ir.dir/verifier.cc.o.d"
+  "libtg_ir.a"
+  "libtg_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

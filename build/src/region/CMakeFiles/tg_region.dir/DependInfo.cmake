@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/graphviz.cc" "src/region/CMakeFiles/tg_region.dir/graphviz.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/graphviz.cc.o.d"
+  "/root/repo/src/region/hyperblock_formation.cc" "src/region/CMakeFiles/tg_region.dir/hyperblock_formation.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/hyperblock_formation.cc.o.d"
+  "/root/repo/src/region/linear_formation.cc" "src/region/CMakeFiles/tg_region.dir/linear_formation.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/linear_formation.cc.o.d"
+  "/root/repo/src/region/region.cc" "src/region/CMakeFiles/tg_region.dir/region.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/region.cc.o.d"
+  "/root/repo/src/region/region_stats.cc" "src/region/CMakeFiles/tg_region.dir/region_stats.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/region_stats.cc.o.d"
+  "/root/repo/src/region/superblock_formation.cc" "src/region/CMakeFiles/tg_region.dir/superblock_formation.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/superblock_formation.cc.o.d"
+  "/root/repo/src/region/tail_duplication.cc" "src/region/CMakeFiles/tg_region.dir/tail_duplication.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/tail_duplication.cc.o.d"
+  "/root/repo/src/region/treegion_formation.cc" "src/region/CMakeFiles/tg_region.dir/treegion_formation.cc.o" "gcc" "src/region/CMakeFiles/tg_region.dir/treegion_formation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

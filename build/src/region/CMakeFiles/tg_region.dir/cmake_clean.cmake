@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_region.dir/graphviz.cc.o"
+  "CMakeFiles/tg_region.dir/graphviz.cc.o.d"
+  "CMakeFiles/tg_region.dir/hyperblock_formation.cc.o"
+  "CMakeFiles/tg_region.dir/hyperblock_formation.cc.o.d"
+  "CMakeFiles/tg_region.dir/linear_formation.cc.o"
+  "CMakeFiles/tg_region.dir/linear_formation.cc.o.d"
+  "CMakeFiles/tg_region.dir/region.cc.o"
+  "CMakeFiles/tg_region.dir/region.cc.o.d"
+  "CMakeFiles/tg_region.dir/region_stats.cc.o"
+  "CMakeFiles/tg_region.dir/region_stats.cc.o.d"
+  "CMakeFiles/tg_region.dir/superblock_formation.cc.o"
+  "CMakeFiles/tg_region.dir/superblock_formation.cc.o.d"
+  "CMakeFiles/tg_region.dir/tail_duplication.cc.o"
+  "CMakeFiles/tg_region.dir/tail_duplication.cc.o.d"
+  "CMakeFiles/tg_region.dir/treegion_formation.cc.o"
+  "CMakeFiles/tg_region.dir/treegion_formation.cc.o.d"
+  "libtg_region.a"
+  "libtg_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ddg.cc" "src/sched/CMakeFiles/tg_sched.dir/ddg.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/ddg.cc.o.d"
+  "/root/repo/src/sched/hyperblock_lowering.cc" "src/sched/CMakeFiles/tg_sched.dir/hyperblock_lowering.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/hyperblock_lowering.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/sched/CMakeFiles/tg_sched.dir/list_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/lowering.cc" "src/sched/CMakeFiles/tg_sched.dir/lowering.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/lowering.cc.o.d"
+  "/root/repo/src/sched/perf_model.cc" "src/sched/CMakeFiles/tg_sched.dir/perf_model.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/perf_model.cc.o.d"
+  "/root/repo/src/sched/pipeline.cc" "src/sched/CMakeFiles/tg_sched.dir/pipeline.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/pipeline.cc.o.d"
+  "/root/repo/src/sched/priority.cc" "src/sched/CMakeFiles/tg_sched.dir/priority.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/priority.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/tg_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/schedule.cc.o.d"
+  "/root/repo/src/sched/schedule_verifier.cc" "src/sched/CMakeFiles/tg_sched.dir/schedule_verifier.cc.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/schedule_verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/region/CMakeFiles/tg_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sched.dir/ddg.cc.o"
+  "CMakeFiles/tg_sched.dir/ddg.cc.o.d"
+  "CMakeFiles/tg_sched.dir/hyperblock_lowering.cc.o"
+  "CMakeFiles/tg_sched.dir/hyperblock_lowering.cc.o.d"
+  "CMakeFiles/tg_sched.dir/list_scheduler.cc.o"
+  "CMakeFiles/tg_sched.dir/list_scheduler.cc.o.d"
+  "CMakeFiles/tg_sched.dir/lowering.cc.o"
+  "CMakeFiles/tg_sched.dir/lowering.cc.o.d"
+  "CMakeFiles/tg_sched.dir/perf_model.cc.o"
+  "CMakeFiles/tg_sched.dir/perf_model.cc.o.d"
+  "CMakeFiles/tg_sched.dir/pipeline.cc.o"
+  "CMakeFiles/tg_sched.dir/pipeline.cc.o.d"
+  "CMakeFiles/tg_sched.dir/priority.cc.o"
+  "CMakeFiles/tg_sched.dir/priority.cc.o.d"
+  "CMakeFiles/tg_sched.dir/schedule.cc.o"
+  "CMakeFiles/tg_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/tg_sched.dir/schedule_verifier.cc.o"
+  "CMakeFiles/tg_sched.dir/schedule_verifier.cc.o.d"
+  "libtg_sched.a"
+  "libtg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

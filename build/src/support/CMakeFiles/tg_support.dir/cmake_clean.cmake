@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_support.dir/bitvector.cc.o"
+  "CMakeFiles/tg_support.dir/bitvector.cc.o.d"
+  "CMakeFiles/tg_support.dir/logging.cc.o"
+  "CMakeFiles/tg_support.dir/logging.cc.o.d"
+  "CMakeFiles/tg_support.dir/rng.cc.o"
+  "CMakeFiles/tg_support.dir/rng.cc.o.d"
+  "CMakeFiles/tg_support.dir/stats.cc.o"
+  "CMakeFiles/tg_support.dir/stats.cc.o.d"
+  "CMakeFiles/tg_support.dir/string_utils.cc.o"
+  "CMakeFiles/tg_support.dir/string_utils.cc.o.d"
+  "CMakeFiles/tg_support.dir/table.cc.o"
+  "CMakeFiles/tg_support.dir/table.cc.o.d"
+  "libtg_support.a"
+  "libtg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

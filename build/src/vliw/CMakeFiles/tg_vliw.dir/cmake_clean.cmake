@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_vliw.dir/equivalence.cc.o"
+  "CMakeFiles/tg_vliw.dir/equivalence.cc.o.d"
+  "CMakeFiles/tg_vliw.dir/interpreter.cc.o"
+  "CMakeFiles/tg_vliw.dir/interpreter.cc.o.d"
+  "CMakeFiles/tg_vliw.dir/machine_state.cc.o"
+  "CMakeFiles/tg_vliw.dir/machine_state.cc.o.d"
+  "CMakeFiles/tg_vliw.dir/vliw_sim.cc.o"
+  "CMakeFiles/tg_vliw.dir/vliw_sim.cc.o.d"
+  "libtg_vliw.a"
+  "libtg_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_workloads.dir/profiler.cc.o"
+  "CMakeFiles/tg_workloads.dir/profiler.cc.o.d"
+  "CMakeFiles/tg_workloads.dir/spec_proxy.cc.o"
+  "CMakeFiles/tg_workloads.dir/spec_proxy.cc.o.d"
+  "CMakeFiles/tg_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/tg_workloads.dir/synthetic.cc.o.d"
+  "libtg_workloads.a"
+  "libtg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hyperblock_test.cc" "tests/CMakeFiles/hyperblock_test.dir/hyperblock_test.cc.o" "gcc" "tests/CMakeFiles/hyperblock_test.dir/hyperblock_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/tg_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/tg_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperblock_test.dir/hyperblock_test.cc.o"
+  "CMakeFiles/hyperblock_test.dir/hyperblock_test.cc.o.d"
+  "hyperblock_test"
+  "hyperblock_test.pdb"
+  "hyperblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

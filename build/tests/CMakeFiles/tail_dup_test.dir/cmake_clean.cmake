@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_dup_test.dir/tail_dup_test.cc.o"
+  "CMakeFiles/tail_dup_test.dir/tail_dup_test.cc.o.d"
+  "tail_dup_test"
+  "tail_dup_test.pdb"
+  "tail_dup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_dup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

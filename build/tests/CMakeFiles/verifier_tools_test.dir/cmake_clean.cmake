@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_tools_test.dir/verifier_tools_test.cc.o"
+  "CMakeFiles/verifier_tools_test.dir/verifier_tools_test.cc.o.d"
+  "verifier_tools_test"
+  "verifier_tools_test.pdb"
+  "verifier_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

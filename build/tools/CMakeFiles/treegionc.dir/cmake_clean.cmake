@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treegionc.dir/treegionc.cc.o"
+  "CMakeFiles/treegionc.dir/treegionc.cc.o.d"
+  "treegionc"
+  "treegionc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treegionc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
