@@ -1,10 +1,12 @@
 #include "sched/list_scheduler.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "sched/ddg.h"
 #include "sched/hyperblock_lowering.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace treegion::sched {
 
@@ -278,7 +280,17 @@ scheduleLoweredRegion(ir::Function &fn, LoweredRegion lowered,
                       const MachineModel &model,
                       const SchedOptions &options)
 {
-    return Scheduler(fn, std::move(lowered), model, options).run();
+    // The DDG is built by the Scheduler's constructor; timing the
+    // construction and the run separately gives the per-stage split
+    // the tracing layer reports (ddg_build vs list_sched).
+    std::unique_ptr<Scheduler> scheduler;
+    {
+        support::TraceScope span("ddg_build", "sched");
+        scheduler = std::make_unique<Scheduler>(fn, std::move(lowered),
+                                                model, options);
+    }
+    support::TraceScope span("list_sched", "sched");
+    return scheduler->run();
 }
 
 RegionSchedule
@@ -287,14 +299,20 @@ scheduleRegion(ir::Function &fn, const region::Region &r,
                const SchedOptions &options)
 {
     if (r.kind() == region::RegionKind::Hyperblock) {
-        return scheduleLoweredRegion(fn, lowerHyperblock(fn, r, live),
-                                     model, options);
+        LoweredRegion lowered = [&] {
+            support::TraceScope span("lower", "sched");
+            return lowerHyperblock(fn, r, live);
+        }();
+        return scheduleLoweredRegion(fn, std::move(lowered), model,
+                                     options);
     }
     LowerOptions lower_options;
     lower_options.materialize_pbr = options.materialize_pbr;
-    return scheduleLoweredRegion(fn, lowerRegion(fn, r, live,
-                                                 lower_options),
-                                 model, options);
+    LoweredRegion lowered = [&] {
+        support::TraceScope span("lower", "sched");
+        return lowerRegion(fn, r, live, lower_options);
+    }();
+    return scheduleLoweredRegion(fn, std::move(lowered), model, options);
 }
 
 } // namespace treegion::sched

@@ -1,7 +1,10 @@
 #include "sched/pipeline.h"
 
+#include <memory>
+
 #include "analysis/liveness.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace treegion::sched {
 
@@ -22,50 +25,75 @@ regionSchemeName(RegionScheme scheme)
 PipelineResult
 runPipeline(ir::Function &fn, const PipelineOptions &options)
 {
+    using support::TraceCollector;
+    using support::TraceScope;
+
     PipelineResult result;
     const size_t original_ops = fn.totalOps();
 
-    switch (options.scheme) {
-      case RegionScheme::BasicBlock:
-        result.regions = region::formBasicBlockRegions(fn);
-        break;
-      case RegionScheme::Slr:
-        result.regions = region::formSlrs(fn);
-        break;
-      case RegionScheme::Superblock:
-        result.regions = region::formSuperblocks(fn, options.superblock);
-        break;
-      case RegionScheme::Treegion:
-        result.regions = region::formTreegions(fn);
-        break;
-      case RegionScheme::TreegionTailDup:
-        result.regions =
-            region::formTreegionsTailDup(fn, options.tail_dup);
-        break;
-      case RegionScheme::Hyperblock:
-        result.regions = region::formHyperblocks(fn, options.hyperblock);
-        break;
+    {
+        TraceScope span("formation");
+        span.arg("fn", fn.name())
+            .arg("scheme", regionSchemeName(options.scheme));
+        switch (options.scheme) {
+          case RegionScheme::BasicBlock:
+            result.regions = region::formBasicBlockRegions(fn);
+            break;
+          case RegionScheme::Slr:
+            result.regions = region::formSlrs(fn);
+            break;
+          case RegionScheme::Superblock:
+            result.regions =
+                region::formSuperblocks(fn, options.superblock);
+            break;
+          case RegionScheme::Treegion:
+            result.regions = region::formTreegions(fn);
+            break;
+          case RegionScheme::TreegionTailDup:
+            result.regions =
+                region::formTreegionsTailDup(fn, options.tail_dup);
+            break;
+          case RegionScheme::Hyperblock:
+            result.regions =
+                region::formHyperblocks(fn, options.hyperblock);
+            break;
+        }
     }
+    TraceCollector::instance().addCounter(
+        "regions_formed", result.regions.regions().size());
 
     result.region_stats = region::computeRegionStats(fn, result.regions);
     result.code_expansion = region::codeExpansionFactor(fn, original_ops);
 
     // Liveness on the (possibly tail-duplicated) CFG feeds the exit
     // reconciliation copies.
-    analysis::Liveness live(fn);
+    std::unique_ptr<analysis::Liveness> live;
+    {
+        TraceScope span("liveness");
+        span.arg("fn", fn.name());
+        live = std::make_unique<analysis::Liveness>(fn);
+    }
 
+    TraceScope sched_span("schedule");
+    sched_span.arg("fn", fn.name())
+        .arg("scheme", regionSchemeName(options.scheme))
+        .arg("model", options.model.name);
     result.schedule.entry = fn.entry();
+    size_t scheduled_ops = 0;
     for (const region::Region &r : result.regions.regions()) {
         RegionSchedule rs =
-            scheduleRegion(fn, r, live, options.model, options.sched);
+            scheduleRegion(fn, r, *live, options.model, options.sched);
         result.estimated_time += estimateRegionTime(rs);
         result.total_sched_stats.renamed_defs += rs.stats.renamed_defs;
         result.total_sched_stats.exit_copies += rs.stats.exit_copies;
         result.total_sched_stats.speculated_ops +=
             rs.stats.speculated_ops;
         result.total_sched_stats.elided_ops += rs.stats.elided_ops;
+        scheduled_ops += rs.ops.size();
         result.schedule.regions.emplace(r.root(), std::move(rs));
     }
+    TraceCollector::instance().addCounter("ops_scheduled",
+                                          scheduled_ops);
     return result;
 }
 
@@ -77,6 +105,56 @@ estimateBaselineTime(ir::Function &fn)
     options.model = MachineModel::scalar1U();
     options.sched.heuristic = Heuristic::DependenceHeight;
     return runPipeline(fn, options).estimated_time;
+}
+
+namespace {
+
+/** Compile one job on a private clone of its function. */
+PipelineJobResult
+runOneJob(const PipelineJob &job)
+{
+    TG_ASSERT(job.fn != nullptr);
+    support::TraceScope span("job", "driver");
+    span.arg("label",
+             job.label.empty() ? job.fn->name() : job.label);
+    PipelineJobResult out{job.fn->clone(), {}, job.label};
+    out.result = runPipeline(out.fn, job.options);
+    return out;
+}
+
+} // namespace
+
+std::vector<PipelineJobResult>
+runPipelineParallel(const std::vector<PipelineJob> &jobs,
+                    size_t num_threads, support::ThreadPool *pool)
+{
+    std::vector<PipelineJobResult> results;
+    results.reserve(jobs.size());
+
+    if (!pool && num_threads == 1) {
+        // Inline path: no pool, same code, same results.
+        for (const PipelineJob &job : jobs)
+            results.push_back(runOneJob(job));
+        return results;
+    }
+
+    std::unique_ptr<support::ThreadPool> local_pool;
+    if (!pool)
+        local_pool = std::make_unique<support::ThreadPool>(num_threads);
+    support::ThreadPool &workers = pool ? *pool : *local_pool;
+
+    // Futures are collected in submission order, which pins the
+    // output order to the input order no matter which worker
+    // finishes first.
+    std::vector<std::future<PipelineJobResult>> futures;
+    futures.reserve(jobs.size());
+    for (const PipelineJob &job : jobs) {
+        futures.push_back(
+            workers.submit([&job] { return runOneJob(job); }));
+    }
+    for (auto &future : futures)
+        results.push_back(future.get());
+    return results;
 }
 
 } // namespace treegion::sched

@@ -4,18 +4,28 @@
  * scheduling -> performance estimate, for one function and one
  * configuration. This is the library's main entry point and the
  * workhorse behind every experiment.
+ *
+ * Compilation is embarrassingly parallel across (function,
+ * configuration) pairs — the paper's own evaluation sweeps schemes x
+ * heuristics x machine models over every benchmark — so the driver
+ * also offers runPipelineParallel: shard a batch of PipelineJobs
+ * over a work-stealing ThreadPool, compile each one on a private
+ * clone, and return results in input order, bit-identical to the
+ * sequential path for any thread count.
  */
 
 #ifndef TREEGION_SCHED_PIPELINE_H
 #define TREEGION_SCHED_PIPELINE_H
 
 #include <string>
+#include <vector>
 
 #include "region/formation.h"
 #include "region/region_stats.h"
 #include "sched/list_scheduler.h"
 #include "sched/machine_model.h"
 #include "sched/perf_model.h"
+#include "support/thread_pool.h"
 
 namespace treegion::sched {
 
@@ -69,6 +79,43 @@ PipelineResult runPipeline(ir::Function &fn,
  * machine. @return its estimated execution time for @p fn.
  */
 double estimateBaselineTime(ir::Function &fn);
+
+/**
+ * One unit of batched compilation: a function x configuration pair.
+ * The function is never mutated — every job compiles a private
+ * clone, so the same function may appear in any number of jobs.
+ */
+struct PipelineJob
+{
+    const ir::Function *fn = nullptr;  ///< profiled input function
+    PipelineOptions options;
+    std::string label;  ///< trace/report label, e.g. "gcc/tree/gw"
+};
+
+/** Outcome of one PipelineJob. */
+struct PipelineJobResult
+{
+    /** The compiled clone (tail-duplicating schemes mutate it). */
+    ir::Function fn;
+    PipelineResult result;
+    std::string label;  ///< copied from the job
+};
+
+/**
+ * Compile every job in @p jobs across @p num_threads workers
+ * (0 = one per hardware thread) and return the results **in input
+ * order**. Each job runs on a private clone of its function, so
+ * results are bit-identical to calling runPipeline sequentially on
+ * clones, regardless of thread count or scheduling interleaving.
+ *
+ * With num_threads == 1 the jobs run inline on the calling thread
+ * (no pool is created). Pass @p pool to reuse an existing pool
+ * (num_threads is then ignored).
+ */
+std::vector<PipelineJobResult>
+runPipelineParallel(const std::vector<PipelineJob> &jobs,
+                    size_t num_threads = 0,
+                    support::ThreadPool *pool = nullptr);
 
 } // namespace treegion::sched
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "support/string_utils.h"
+#include "support/trace.h"
 
 namespace treegion::sched {
 
@@ -86,6 +87,7 @@ verifySchedule(const RegionSchedule &sched, int issue_width)
 std::vector<std::string>
 verifyFunctionSchedule(const FunctionSchedule &sched, int issue_width)
 {
+    support::TraceScope span("verify");
     std::vector<std::string> problems;
     for (const auto &[root, rs] : sched.regions) {
         for (std::string &p : verifySchedule(rs, issue_width)) {

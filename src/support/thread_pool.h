@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A work-stealing thread pool for the parallel compilation driver.
+ *
+ * Each worker owns a deque: it pops work from the front of its own
+ * deque and, when empty, steals from the back of a victim's. Tasks
+ * are distributed round-robin at submission, so a batch of uniform
+ * jobs starts out balanced and stealing only has to absorb the
+ * variance (the same shard-and-schedule structure as parallel
+ * scheduling of independent task trees — Eyraud-Dubois et al. 2014).
+ *
+ * submit() returns a std::future so exceptions thrown by a task
+ * propagate to whoever joins on the result; parallelFor() rethrows
+ * the first failure after the loop drains. The destructor finishes
+ * every task already submitted before joining the workers.
+ */
+
+#ifndef TREEGION_SUPPORT_THREAD_POOL_H
+#define TREEGION_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace treegion::support {
+
+/** Fixed-size work-stealing worker pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p num_threads workers; 0 means hardwareThreads().
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    /** Finishes all submitted tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return the number of worker threads. */
+    size_t numThreads() const { return workers_.size(); }
+
+    /** @return the machine's hardware thread count (at least 1). */
+    static size_t hardwareThreads();
+
+    /**
+     * Enqueue @p task and @return a future for its result. The
+     * future rethrows anything the task throws.
+     */
+    template <typename F>
+    auto
+    submit(F &&task) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(task));
+        std::future<R> result = packaged->get_future();
+        enqueue([packaged]() { (*packaged)(); });
+        return result;
+    }
+
+    /**
+     * Run body(0) .. body(n-1) across the pool and wait for all of
+     * them. Rethrows the first exception any iteration threw (the
+     * remaining iterations still run to completion first).
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t)> &body);
+
+  private:
+    /** One worker's deque; mutex-guarded so stealing is race-free. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void enqueue(std::function<void()> task);
+    void workerLoop(size_t self);
+
+    /** Pop own front, else steal a victim's back. */
+    bool takeTask(size_t self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;
+    std::atomic<size_t> next_worker_{0};  ///< round-robin target
+    std::atomic<size_t> pending_{0};      ///< queued, not yet taken
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace treegion::support
+
+#endif // TREEGION_SUPPORT_THREAD_POOL_H

@@ -1,0 +1,216 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace treegion::support {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Process trace epoch: first use of the clock. */
+Clock::time_point
+traceEpoch()
+{
+    static const Clock::time_point epoch = Clock::now();
+    return epoch;
+}
+
+} // namespace
+
+TraceCollector &
+TraceCollector::instance()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+void
+TraceCollector::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void
+TraceCollector::record(TraceEvent event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceCollector::addCounter(const std::string &name, uint64_t delta)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+std::vector<TraceEvent>
+TraceCollector::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::map<std::string, uint64_t>
+TraceCollector::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    counters_.clear();
+}
+
+void
+TraceCollector::writeChromeTrace(std::ostream &os) const
+{
+    std::vector<TraceEvent> events;
+    std::map<std::string, uint64_t> counters;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events = events_;
+        counters = counters_;
+    }
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    int64_t last_ts = 0;
+    char buf[64];
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        last_ts = std::max(last_ts, e.start_us + e.duration_us);
+        os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
+           << jsonEscape(e.category) << "\",\"ph\":\"X\"";
+        std::snprintf(buf, sizeof buf,
+                      ",\"ts\":%" PRId64 ",\"dur\":%" PRId64
+                      ",\"pid\":1,\"tid\":%u",
+                      e.start_us, e.duration_us, e.tid);
+        os << buf;
+        if (!e.args.empty()) {
+            os << ",\"args\":{";
+            bool first_arg = true;
+            for (const auto &[key, value] : e.args) {
+                if (!first_arg)
+                    os << ",";
+                first_arg = false;
+                os << "\"" << jsonEscape(key) << "\":\""
+                   << jsonEscape(value) << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    // Counters become one "C" sample each at the end of the trace so
+    // chrome://tracing shows them as totals alongside the spans.
+    for (const auto &[name, value] : counters) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(name)
+           << "\",\"cat\":\"counters\",\"ph\":\"C\"";
+        std::snprintf(buf, sizeof buf,
+                      ",\"ts\":%" PRId64 ",\"pid\":1,\"tid\":0",
+                      last_ts);
+        os << buf;
+        std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+        os << ",\"args\":{\"value\":" << buf << "}}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool
+TraceCollector::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    writeChromeTrace(file);
+    return file.good();
+}
+
+int64_t
+TraceCollector::nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - traceEpoch())
+        .count();
+}
+
+uint32_t
+TraceCollector::currentThreadId()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+TraceScope::TraceScope(const char *name, const char *category)
+{
+    TraceCollector &collector = TraceCollector::instance();
+    if (!collector.enabled())
+        return;
+    live_ = true;
+    event_.name = name;
+    event_.category = category;
+    event_.tid = TraceCollector::currentThreadId();
+    event_.start_us = TraceCollector::nowUs();
+}
+
+TraceScope &
+TraceScope::arg(const char *key, std::string value)
+{
+    if (live_)
+        event_.args.emplace_back(key, std::move(value));
+    return *this;
+}
+
+TraceScope::~TraceScope()
+{
+    if (!live_)
+        return;
+    event_.duration_us = TraceCollector::nowUs() - event_.start_us;
+    TraceCollector::instance().record(std::move(event_));
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace treegion::support

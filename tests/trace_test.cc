@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the tracing layer: enable/disable semantics,
+ * counters, thread-id stability, JSON escaping, and the shape of the
+ * Chrome trace output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "support/thread_pool.h"
+#include "support/trace.h"
+
+namespace treegion::support {
+namespace {
+
+/** Reset the process-wide collector around every test. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TraceCollector::instance().clear();
+        TraceCollector::instance().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        TraceCollector::instance().setEnabled(false);
+        TraceCollector::instance().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    TraceCollector::instance().setEnabled(false);
+    {
+        TraceScope span("stage");
+        TraceCollector::instance().addCounter("things", 3);
+    }
+    EXPECT_TRUE(TraceCollector::instance().events().empty());
+    EXPECT_TRUE(TraceCollector::instance().counters().empty());
+}
+
+TEST_F(TraceTest, ScopeRecordsCompleteEvent)
+{
+    {
+        TraceScope span("formation", "pipeline");
+        span.arg("scheme", "tree");
+    }
+    const auto events = TraceCollector::instance().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "formation");
+    EXPECT_EQ(events[0].category, "pipeline");
+    EXPECT_GE(events[0].start_us, 0);
+    EXPECT_GE(events[0].duration_us, 0);
+    ASSERT_EQ(events[0].args.size(), 1u);
+    EXPECT_EQ(events[0].args[0].first, "scheme");
+    EXPECT_EQ(events[0].args[0].second, "tree");
+}
+
+TEST_F(TraceTest, ScopeOpenedWhileDisabledStaysInert)
+{
+    TraceCollector::instance().setEnabled(false);
+    {
+        TraceScope span("half");
+        // Enabling mid-span must not emit a torn event at close.
+        TraceCollector::instance().setEnabled(true);
+    }
+    EXPECT_TRUE(TraceCollector::instance().events().empty());
+}
+
+TEST_F(TraceTest, CountersAccumulate)
+{
+    TraceCollector::instance().addCounter("regions", 2);
+    TraceCollector::instance().addCounter("regions", 5);
+    TraceCollector::instance().addCounter("ops", 1);
+    const auto counters = TraceCollector::instance().counters();
+    EXPECT_EQ(counters.at("regions"), 7u);
+    EXPECT_EQ(counters.at("ops"), 1u);
+}
+
+TEST_F(TraceTest, ThreadIdsAreStableAndDistinct)
+{
+    const uint32_t main_a = TraceCollector::currentThreadId();
+    const uint32_t main_b = TraceCollector::currentThreadId();
+    EXPECT_EQ(main_a, main_b);
+    uint32_t other = main_a;
+    std::thread t([&] { other = TraceCollector::currentThreadId(); });
+    t.join();
+    EXPECT_NE(other, main_a);
+}
+
+TEST_F(TraceTest, ParallelScopesAllLand)
+{
+    {
+        ThreadPool pool(4);
+        pool.parallelFor(64, [](size_t i) {
+            TraceScope span(i % 2 ? "odd" : "even", "test");
+        });
+    }
+    EXPECT_EQ(TraceCollector::instance().events().size(), 64u);
+}
+
+TEST_F(TraceTest, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape(std::string("\x01")), "\\u0001");
+}
+
+TEST_F(TraceTest, ChromeTraceShape)
+{
+    {
+        TraceScope span("sched \"quoted\"", "pipeline");
+        span.arg("fn", "main");
+    }
+    TraceCollector::instance().addCounter("ops_scheduled", 12);
+
+    std::ostringstream os;
+    TraceCollector::instance().writeChromeTrace(os);
+    const std::string json = os.str();
+
+    // The Chrome trace "JSON object format": a traceEvents array of
+    // complete ("X") events, counters as "C" events.
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("sched \\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"fn\":\"main\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ops_scheduled\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":12"), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\"}"),
+              std::string::npos);
+
+    // No torn JSON: no empty-element commas, balanced delimiters.
+    EXPECT_EQ(json.find(",]"), std::string::npos);
+    EXPECT_EQ(json.find("[,"), std::string::npos);
+    int braces = 0, brackets = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{')
+            ++braces;
+        else if (c == '}')
+            --braces;
+        else if (c == '[')
+            ++brackets;
+        else if (c == ']')
+            --brackets;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValid)
+{
+    std::ostringstream os;
+    TraceCollector::instance().writeChromeTrace(os);
+    EXPECT_EQ(os.str(),
+              "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+} // namespace
+} // namespace treegion::support

@@ -2,7 +2,7 @@
  * @file
  * treegionc — command-line driver for the treegion compiler.
  *
- * Reads a function in the textual IR format (a file path, or stdin
+ * Reads a module in the textual IR format (a file path, or stdin
  * with "-"), optionally profiles it on seeded synthetic inputs, runs
  * the region-scheduling pipeline, and prints what you ask for.
  *
@@ -21,6 +21,16 @@
  *   --print-dot                       dot graph of CFG + regions
  *   --run SEED                        simulate on a seeded input
  *   --stats                           region + scheduling statistics
+ *
+ * Batch compilation (sharded over a work-stealing thread pool):
+ *   -j N | --jobs N      worker threads (default 1; 0 = all cores)
+ *   --all-functions      compile every function in the module
+ *   --sweep              compile every scheme x heuristic config
+ *   --trace-json FILE    dump per-stage Chrome trace events to FILE
+ *                        (load in chrome://tracing or perfetto)
+ *
+ * Batch results are printed in deterministic input order — function
+ * order x configuration order — whatever the thread count.
  */
 
 #include <cstdio>
@@ -28,6 +38,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -35,6 +46,7 @@
 #include "region/graphviz.h"
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
+#include "support/trace.h"
 #include "vliw/equivalence.h"
 #include "workloads/profiler.h"
 
@@ -55,6 +67,10 @@ struct CliOptions
     bool stats = false;
     bool run = false;
     uint64_t run_seed = 1;
+    size_t jobs = 1;
+    bool all_functions = false;
+    bool sweep = false;
+    std::string trace_json;
 };
 
 int
@@ -101,6 +117,109 @@ parseHeuristic(const std::string &name, sched::Heuristic &out)
     else
         return false;
     return true;
+}
+
+/** The scheme x heuristic grid the paper's evaluation sweeps. */
+std::vector<sched::PipelineOptions>
+sweepConfigs(const sched::PipelineOptions &base)
+{
+    static const sched::RegionScheme schemes[] = {
+        sched::RegionScheme::BasicBlock,
+        sched::RegionScheme::Slr,
+        sched::RegionScheme::Superblock,
+        sched::RegionScheme::Treegion,
+        sched::RegionScheme::TreegionTailDup,
+        sched::RegionScheme::Hyperblock,
+    };
+    static const sched::Heuristic heuristics[] = {
+        sched::Heuristic::DependenceHeight,
+        sched::Heuristic::ExitCount,
+        sched::Heuristic::GlobalWeight,
+        sched::Heuristic::WeightedCount,
+    };
+    std::vector<sched::PipelineOptions> configs;
+    for (const auto scheme : schemes) {
+        for (const auto heuristic : heuristics) {
+            sched::PipelineOptions options = base;
+            options.scheme = scheme;
+            options.sched.heuristic = heuristic;
+            configs.push_back(options);
+        }
+    }
+    return configs;
+}
+
+/**
+ * Compile a batch of (function x configuration) jobs across the
+ * requested number of workers and print one summary line per job in
+ * input order. @return the number of jobs whose schedule failed
+ * verification.
+ */
+int
+runBatch(const std::vector<ir::Function *> &fns, const CliOptions &cli)
+{
+    // Per-function baselines for the speedup column (on clones so
+    // the batch functions stay pristine for compilation).
+    std::vector<double> baselines;
+    for (const ir::Function *fn : fns) {
+        ir::Function clone = fn->clone();
+        baselines.push_back(sched::estimateBaselineTime(clone));
+    }
+
+    const std::vector<sched::PipelineOptions> configs =
+        cli.sweep ? sweepConfigs(cli.pipeline)
+                  : std::vector<sched::PipelineOptions>{cli.pipeline};
+
+    std::vector<sched::PipelineJob> batch;
+    for (const ir::Function *fn : fns) {
+        for (const auto &config : configs) {
+            sched::PipelineJob job;
+            job.fn = fn;
+            job.options = config;
+            job.label = fn->name() + "/" +
+                        sched::regionSchemeName(config.scheme) + "/" +
+                        sched::heuristicName(config.sched.heuristic);
+            batch.push_back(std::move(job));
+        }
+    }
+    std::fprintf(stderr, "batch: %zu jobs (%zu functions x %zu "
+                 "configs) on %zu thread(s)\n",
+                 batch.size(), fns.size(), configs.size(),
+                 cli.jobs == 0 ? support::ThreadPool::hardwareThreads()
+                               : cli.jobs);
+
+    const auto results = sched::runPipelineParallel(batch, cli.jobs);
+
+    int failures = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &jr = results[i];
+        const auto problems = sched::verifyFunctionSchedule(
+            jr.result.schedule,
+            batch[i].options.model.issue_width);
+        for (const auto &p : problems)
+            std::fprintf(stderr, "%s: schedule verifier: %s\n",
+                         jr.label.c_str(), p.c_str());
+        failures += problems.empty() ? 0 : 1;
+
+        const double baseline = baselines[i / configs.size()];
+        std::printf("%-28s %4zu regions  %10.0f cycles  "
+                    "speedup %5.2fx%s\n",
+                    jr.label.c_str(),
+                    jr.result.schedule.regions.size(),
+                    jr.result.estimated_time,
+                    baseline / jr.result.estimated_time,
+                    problems.empty() ? "" : "  [VERIFY FAILED]");
+        if (cli.stats) {
+            std::printf("    expansion %.2fx; renamed %zu, copies "
+                        "%zu, speculated %zu, elided %zu\n",
+                        jr.result.code_expansion,
+                        jr.result.total_sched_stats.renamed_defs,
+                        jr.result.total_sched_stats.exit_copies,
+                        jr.result.total_sched_stats.speculated_ops,
+                        jr.result.total_sched_stats.elided_ops);
+        }
+    }
+    return failures;
 }
 
 } // namespace
@@ -155,6 +274,21 @@ main(int argc, char **argv)
         } else if (arg == "--run") {
             cli.run = true;
             cli.run_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "-j" || arg == "--jobs") {
+            const long long jobs = std::atoll(next());
+            if (jobs < 0 || jobs > 1024) {
+                std::fprintf(stderr,
+                             "-j expects 0..1024 (0 = all cores), "
+                             "got %lld\n", jobs);
+                return 2;
+            }
+            cli.jobs = static_cast<size_t>(jobs);
+        } else if (arg == "--all-functions") {
+            cli.all_functions = true;
+        } else if (arg == "--sweep") {
+            cli.sweep = true;
+        } else if (arg == "--trace-json") {
+            cli.trace_json = next();
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -168,6 +302,9 @@ main(int argc, char **argv)
     }
     if (cli.input.empty())
         return usage(argv[0]);
+
+    if (!cli.trace_json.empty())
+        support::TraceCollector::instance().setEnabled(true);
 
     // ---- Read and parse.
     std::string source;
@@ -187,37 +324,73 @@ main(int argc, char **argv)
         source = buffer.str();
     }
     std::string error;
-    auto mod = ir::parseModule(source, &error);
+    std::unique_ptr<ir::Module> mod;
+    {
+        support::TraceScope span("parse", "driver");
+        mod = ir::parseModule(source, &error);
+    }
     if (!mod) {
         std::fprintf(stderr, "parse error: %s\n", error.c_str());
         return 1;
     }
-    ir::Function &fn = mod->function(
-        mod->functions().front()->name());
-    const auto problems =
-        ir::verifyFunction(fn, ir::VerifyLevel::Schedulable);
-    if (!problems.empty()) {
-        for (const auto &p : problems)
-            std::fprintf(stderr, "verifier: %s\n", p.c_str());
-        return 1;
+
+    // ---- Select, verify and profile the functions to compile.
+    std::vector<ir::Function *> fns;
+    if (cli.all_functions) {
+        for (const auto &fn : mod->functions())
+            fns.push_back(fn.get());
+    } else {
+        fns.push_back(mod->functions().front().get());
+    }
+    for (ir::Function *fn : fns) {
+        const auto problems =
+            ir::verifyFunction(*fn, ir::VerifyLevel::Schedulable);
+        if (!problems.empty()) {
+            for (const auto &p : problems)
+                std::fprintf(stderr, "verifier: %s: %s\n",
+                             fn->name().c_str(), p.c_str());
+            return 1;
+        }
+        if (cli.do_profile) {
+            support::TraceScope span("profile", "driver");
+            span.arg("fn", fn->name());
+            workloads::ProfileOptions profile;
+            profile.input_seed = cli.profile_seed;
+            profile.runs = cli.profile_runs;
+            const auto summary = workloads::profileFunction(
+                *fn, mod->memWords(), profile);
+            std::fprintf(stderr,
+                         "%s: profiled %d runs (%llu dynamic ops)\n",
+                         fn->name().c_str(), summary.completed_runs,
+                         static_cast<unsigned long long>(
+                             summary.total_ops));
+        }
     }
 
-    // ---- Profile.
-    if (cli.do_profile) {
-        workloads::ProfileOptions profile;
-        profile.input_seed = cli.profile_seed;
-        profile.runs = cli.profile_runs;
-        const auto summary = workloads::profileFunction(
-            fn, mod->memWords(), profile);
-        std::fprintf(stderr, "profiled %d runs (%llu dynamic ops)\n",
-                     summary.completed_runs,
-                     static_cast<unsigned long long>(
-                         summary.total_ops));
-    }
+    auto finish = [&](int code) {
+        if (!cli.trace_json.empty()) {
+            if (support::TraceCollector::instance()
+                    .writeChromeTraceFile(cli.trace_json)) {
+                std::fprintf(stderr, "trace written to %s\n",
+                             cli.trace_json.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write trace to %s\n",
+                             cli.trace_json.c_str());
+                code = code ? code : 1;
+            }
+        }
+        return code;
+    };
+
+    // ---- Batch mode: functions x configurations over the pool.
+    if (cli.all_functions || cli.sweep)
+        return finish(runBatch(fns, cli) == 0 ? 0 : 1);
+
+    // ---- Single-function mode.
+    ir::Function &fn = *fns.front();
     if (cli.print_ir)
         ir::printFunction(std::cout, fn);
 
-    // ---- Compile.
     ir::Function original = fn.clone();
     const double baseline = sched::estimateBaselineTime(fn);
     const auto result = sched::runPipeline(fn, cli.pipeline);
@@ -272,7 +445,7 @@ main(int argc, char **argv)
         if (!report.ok) {
             std::fprintf(stderr, "equivalence FAILED: %s\n",
                          report.detail.c_str());
-            return 1;
+            return finish(1);
         }
         const auto run =
             vliw::runScheduled(fn, result.schedule, memory);
@@ -282,5 +455,5 @@ main(int argc, char **argv)
                     static_cast<long long>(run.ret_value),
                     static_cast<unsigned long long>(run.cycles));
     }
-    return sched_problems.empty() ? 0 : 1;
+    return finish(sched_problems.empty() ? 0 : 1);
 }
