@@ -1,0 +1,287 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+
+#include "fuzz/mutate.h"
+#include "ir/printer.h"
+#include "support/string_utils.h"
+#include "support/thread_pool.h"
+#include "support/trace.h"
+#include "workloads/profiler.h"
+#include "workloads/spec_proxy.h"
+
+namespace treegion::fuzz {
+
+using support::strprintf;
+
+namespace {
+
+constexpr sched::RegionScheme kAllSchemes[] = {
+    sched::RegionScheme::BasicBlock,
+    sched::RegionScheme::Slr,
+    sched::RegionScheme::Superblock,
+    sched::RegionScheme::Treegion,
+    sched::RegionScheme::TreegionTailDup,
+    sched::RegionScheme::Hyperblock,
+};
+
+constexpr sched::Heuristic kAllHeuristics[] = {
+    sched::Heuristic::DependenceHeight,
+    sched::Heuristic::ExitCount,
+    sched::Heuristic::GlobalWeight,
+    sched::Heuristic::WeightedCount,
+};
+
+struct CellFailure
+{
+    FuzzConfig config;
+    OracleFailure fail;
+};
+
+} // namespace
+
+std::string
+writeRepro(const FoundBug &bug, const std::string &corpus_dir)
+{
+    std::filesystem::create_directories(corpus_dir);
+    const size_t tag = std::hash<std::string>{}(bug.module_text +
+                                                bug.config.str() +
+                                                bug.oracle);
+    const std::string path = strprintf(
+        "%s/%s-%08zx.tir", corpus_dir.c_str(), bug.oracle.c_str(),
+        tag & 0xffffffff);
+    std::ofstream os(path);
+    os << makeReproHeader(bug.config, bug.oracle_opts, bug.oracle,
+                          bug.detail);
+    os << bug.module_text;
+    return path;
+}
+
+CampaignResult
+runCampaign(const CampaignOptions &opts)
+{
+    support::TraceScope campaign_span("fuzz_campaign", "fuzz");
+    CampaignResult result;
+    support::Rng rng(opts.seed);
+    std::unique_ptr<support::ThreadPool> pool;
+    if (opts.jobs != 1)
+        pool = std::make_unique<support::ThreadPool>(opts.jobs);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts.budget_seconds));
+
+    while ((opts.max_programs == 0 ||
+            result.programs < opts.max_programs) &&
+           std::chrono::steady_clock::now() < deadline) {
+        support::TraceScope program_span("fuzz_program", "fuzz");
+        const workloads::GenParams params = mutateParams(rng);
+        std::unique_ptr<ir::Module> mod =
+            workloads::generateProgram("fuzz", params);
+        ++result.programs;
+
+        std::vector<CellFailure> failures;
+
+        // Scheme-independent oracle: the textual round trip.
+        if (OracleFailure rt = checkRoundTrip(*mod))
+            failures.push_back({FuzzConfig{}, std::move(rt)});
+
+        // One cell per scheme x heuristic x width; lowering toggles
+        // drawn per cell so the sweep covers both settings over time.
+        std::vector<FuzzConfig> cells;
+        for (const sched::RegionScheme scheme : kAllSchemes) {
+            for (const sched::Heuristic heuristic : kAllHeuristics) {
+                for (const int width : opts.widths) {
+                    FuzzConfig config;
+                    config.scheme = scheme;
+                    config.heuristic = heuristic;
+                    config.width = width;
+                    config.dominator_parallelism = rng.nextBool(0.75);
+                    config.materialize_pbr = rng.nextBool(0.25);
+                    cells.push_back(config);
+                }
+            }
+        }
+        result.cells += cells.size();
+
+        const ir::Function &fn = *mod->functions().front();
+        const size_t mem_words = mod->memWords();
+        auto runCell = [&fn, mem_words,
+                        &oracle = opts.oracle](const FuzzConfig &config) {
+            support::TraceScope cell_span("fuzz_cell", "fuzz");
+            cell_span.arg("config", config.str());
+            return checkCell(fn, mem_words, config, oracle);
+        };
+        if (pool) {
+            std::vector<std::future<OracleFailure>> futures;
+            futures.reserve(cells.size());
+            for (const FuzzConfig &config : cells)
+                futures.push_back(pool->submit(
+                    [&runCell, config] { return runCell(config); }));
+            for (size_t i = 0; i < cells.size(); ++i) {
+                if (OracleFailure fail = futures[i].get())
+                    failures.push_back({cells[i], std::move(fail)});
+            }
+        } else {
+            for (const FuzzConfig &config : cells) {
+                if (OracleFailure fail = runCell(config))
+                    failures.push_back({config, std::move(fail)});
+            }
+        }
+
+        result.failures += failures.size();
+        if (opts.verbose) {
+            fprintf(stderr,
+                    "[treegion-fuzz] program %zu (gen seed %llx): "
+                    "%zu cells, %zu failing\n",
+                    result.programs,
+                    static_cast<unsigned long long>(params.seed),
+                    cells.size(), failures.size());
+        }
+
+        // Deduplicate per program by oracle: one minimized repro per
+        // failure mode is enough to root-cause it.
+        std::vector<std::string> seen;
+        for (CellFailure &failure : failures) {
+            const std::string &oracle = failure.fail.oracle;
+            if (std::find(seen.begin(), seen.end(), oracle) !=
+                seen.end())
+                continue;
+            seen.push_back(oracle);
+            if (result.bugs.size() >= opts.max_repros)
+                continue;
+
+            fprintf(stderr,
+                    "[treegion-fuzz] FAILURE oracle=%s %s\n"
+                    "[treegion-fuzz]   %s\n",
+                    oracle.c_str(), failure.config.str().c_str(),
+                    failure.fail.detail.c_str());
+
+            FoundBug bug;
+            bug.config = failure.config;
+            bug.oracle_opts = opts.oracle;
+            bug.oracle = oracle;
+            bug.detail = failure.fail.detail;
+
+            std::unique_ptr<ir::Module> repro = workloads::
+                generateProgram("fuzz", params);
+            bug.original_ops = repro->functions().front()->totalOps();
+            if (opts.reduce) {
+                OraclePredicate pred;
+                if (oracle == "round-trip") {
+                    pred = [](const ir::Module &m) {
+                        return checkRoundTrip(m);
+                    };
+                } else {
+                    pred = [config = failure.config,
+                            oracle_opts =
+                                opts.oracle](const ir::Module &m) {
+                        return checkCell(*m.functions().front(),
+                                         m.memWords(), config,
+                                         oracle_opts);
+                    };
+                }
+                const ReduceResult reduced = reduceModule(
+                    *repro, oracle, pred, opts.reduce_opts);
+                bug.reduced_ops = reduced.reduced_ops;
+                fprintf(stderr,
+                        "[treegion-fuzz]   reduced %zu -> %zu ops "
+                        "(%zu candidates, %d rounds)\n",
+                        reduced.original_ops, reduced.reduced_ops,
+                        reduced.candidates, reduced.rounds);
+            } else {
+                bug.reduced_ops = bug.original_ops;
+            }
+            bug.module_text = ir::moduleToString(*repro);
+            bug.repro_path = writeRepro(bug, opts.corpus_dir);
+            fprintf(stderr, "[treegion-fuzz]   wrote %s\n",
+                    bug.repro_path.c_str());
+            result.bugs.push_back(std::move(bug));
+        }
+    }
+    return result;
+}
+
+std::vector<ProxyAuditRow>
+runProxyAudit(int width, size_t jobs)
+{
+    support::TraceScope span("proxy_audit", "fuzz");
+    const std::vector<workloads::ProxySpec> proxies =
+        workloads::specint95Proxies();
+
+    struct Task
+    {
+        size_t proxy_index;
+        FuzzConfig config;
+    };
+    std::vector<Task> tasks;
+    std::vector<std::unique_ptr<ir::Module>> modules;
+    std::vector<double> baselines;
+    OracleOptions oracle;
+    oracle.profile_runs = 8;
+    oracle.equivalence_inputs = 1;
+
+    for (size_t p = 0; p < proxies.size(); ++p) {
+        modules.push_back(workloads::buildProxy(proxies[p]));
+        ir::Function &fn = *modules.back()->functions().front();
+        // The bb @ 1U baseline each estimate is reported against.
+        ir::Function base = fn.clone();
+        workloads::ProfileOptions prof;
+        prof.input_seed = oracle.input_seed;
+        prof.runs = oracle.profile_runs;
+        prof.data_max = proxies[p].params.data_max;
+        workloads::profileFunction(base, modules.back()->memWords(),
+                                   prof);
+        baselines.push_back(sched::estimateBaselineTime(base));
+        for (const sched::RegionScheme scheme : kAllSchemes) {
+            for (const sched::Heuristic heuristic : kAllHeuristics) {
+                FuzzConfig config;
+                config.scheme = scheme;
+                config.heuristic = heuristic;
+                config.width = width;
+                tasks.push_back({p, config});
+            }
+        }
+    }
+
+    std::vector<ProxyAuditRow> rows(tasks.size());
+    auto runTask = [&](size_t i) {
+        const Task &task = tasks[i];
+        const ir::Module &mod = *modules[task.proxy_index];
+        OracleOptions cell_oracle = oracle;
+        cell_oracle.data_max =
+            proxies[task.proxy_index].params.data_max;
+        ProxyAuditRow row;
+        row.proxy = proxies[task.proxy_index].name;
+        row.config = task.config;
+        row.baseline = baselines[task.proxy_index];
+        OracleFailure fail =
+            checkCell(*mod.functions().front(), mod.memWords(),
+                      task.config, cell_oracle, &row.estimate);
+        row.oracle = fail.oracle;
+        row.detail = fail.detail;
+        rows[i] = std::move(row);
+    };
+
+    if (jobs == 1) {
+        for (size_t i = 0; i < tasks.size(); ++i)
+            runTask(i);
+    } else {
+        support::ThreadPool pool(jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(tasks.size());
+        for (size_t i = 0; i < tasks.size(); ++i)
+            futures.push_back(pool.submit([&runTask, i] { runTask(i); }));
+        for (std::future<void> &f : futures)
+            f.get();
+    }
+    return rows;
+}
+
+} // namespace treegion::fuzz

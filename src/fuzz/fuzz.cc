@@ -1,0 +1,391 @@
+#include "fuzz/fuzz.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "sched/schedule_verifier.h"
+#include "support/string_utils.h"
+#include "vliw/equivalence.h"
+#include "workloads/profiler.h"
+#include "workloads/synthetic.h"
+
+namespace treegion::fuzz {
+
+using support::splitString;
+using support::startsWith;
+using support::strprintf;
+
+namespace {
+
+struct SchemeToken
+{
+    sched::RegionScheme scheme;
+    const char *token;
+};
+
+constexpr SchemeToken kSchemes[] = {
+    {sched::RegionScheme::BasicBlock, "bb"},
+    {sched::RegionScheme::Slr, "slr"},
+    {sched::RegionScheme::Superblock, "sb"},
+    {sched::RegionScheme::Treegion, "tree"},
+    {sched::RegionScheme::TreegionTailDup, "tree-td"},
+    {sched::RegionScheme::Hyperblock, "hyper"},
+};
+
+struct HeuristicToken
+{
+    sched::Heuristic heuristic;
+    const char *token;
+};
+
+constexpr HeuristicToken kHeuristics[] = {
+    {sched::Heuristic::DependenceHeight, "dep-height"},
+    {sched::Heuristic::ExitCount, "exit-count"},
+    {sched::Heuristic::GlobalWeight, "global-weight"},
+    {sched::Heuristic::WeightedCount, "weighted-count"},
+};
+
+const char *
+schemeToken(sched::RegionScheme scheme)
+{
+    for (const SchemeToken &s : kSchemes) {
+        if (s.scheme == scheme)
+            return s.token;
+    }
+    return "?";
+}
+
+const char *
+heuristicToken(sched::Heuristic heuristic)
+{
+    for (const HeuristicToken &h : kHeuristics) {
+        if (h.heuristic == heuristic)
+            return h.token;
+    }
+    return "?";
+}
+
+bool
+parseField(const std::string &field, const char *key, std::string &value)
+{
+    const std::string prefix = std::string(key) + "=";
+    if (!startsWith(field, prefix))
+        return false;
+    value = field.substr(prefix.size());
+    return true;
+}
+
+/** First line of @p text, truncated for report readability. */
+std::string
+firstLine(const std::string &text, size_t max_len = 200)
+{
+    std::string line = text.substr(0, text.find('\n'));
+    if (line.size() > max_len)
+        line = line.substr(0, max_len) + "...";
+    return line;
+}
+
+/** Relative-tolerance comparison for profile-weight arithmetic. */
+bool
+closeEnough(double a, double b)
+{
+    return std::fabs(a - b) <= 1e-6 * std::max({1.0, std::fabs(a),
+                                                std::fabs(b)});
+}
+
+OracleFailure
+checkCostModel(const sched::PipelineResult &res,
+               const ir::Function &transformed)
+{
+    OracleFailure fail;
+    auto err = [&](std::string detail) {
+        if (!fail) {
+            fail.oracle = "cost-model";
+            fail.detail = std::move(detail);
+        }
+    };
+    double total_estimate = 0.0;
+    for (const auto &[root, rs] : res.schedule.regions) {
+        double exit_weight = 0.0;
+        for (const sched::ScheduledExit &exit : rs.exits) {
+            if (exit.weight < 0.0)
+                err(strprintf("region bb%u: negative exit weight %g",
+                              root, exit.weight));
+            exit_weight += exit.weight;
+        }
+        const double root_weight = transformed.block(root).weight();
+        if (!closeEnough(exit_weight, root_weight)) {
+            err(strprintf("region bb%u: exit weights sum to %g but "
+                          "the root block's weight is %g",
+                          root, exit_weight, root_weight));
+        }
+        const double estimate = sched::estimateRegionTime(rs);
+        total_estimate += estimate;
+        if (exit_weight <= 0.0) {
+            if (estimate != 0.0)
+                err(strprintf("region bb%u: never executed but "
+                              "estimate is %g", root, estimate));
+            continue;
+        }
+        if (estimate + 1e-9 < exit_weight ||
+            estimate > exit_weight * rs.length + 1e-9) {
+            err(strprintf("region bb%u: estimate %g outside "
+                          "[W, W*length] = [%g, %g]",
+                          root, estimate, exit_weight,
+                          exit_weight * rs.length));
+        }
+    }
+    if (!closeEnough(total_estimate, res.estimated_time)) {
+        err(strprintf("pipeline estimated_time %g != sum of region "
+                      "estimates %g", res.estimated_time,
+                      total_estimate));
+    }
+    if (res.code_expansion < 1.0 - 1e-9) {
+        err(strprintf("code expansion %g < 1", res.code_expansion));
+    }
+    return fail;
+}
+
+} // namespace
+
+std::string
+FuzzConfig::str() const
+{
+    return strprintf("scheme=%s heuristic=%s width=%d dom-par=%d "
+                     "pbr=%d",
+                     schemeToken(scheme), heuristicToken(heuristic),
+                     width, dominator_parallelism ? 1 : 0,
+                     materialize_pbr ? 1 : 0);
+}
+
+sched::PipelineOptions
+FuzzConfig::pipelineOptions() const
+{
+    sched::PipelineOptions options;
+    options.scheme = scheme;
+    options.model = sched::MachineModel::custom(width);
+    options.sched.heuristic = heuristic;
+    options.sched.dominator_parallelism = dominator_parallelism;
+    options.sched.materialize_pbr = materialize_pbr;
+    return options;
+}
+
+bool
+parseFuzzConfig(const std::string &text, FuzzConfig &out,
+                std::string *error)
+{
+    auto bad = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    for (const std::string &field : splitString(text, ' ')) {
+        if (field.empty())
+            continue;
+        std::string value;
+        if (parseField(field, "scheme", value)) {
+            bool found = false;
+            for (const SchemeToken &s : kSchemes) {
+                if (value == s.token) {
+                    out.scheme = s.scheme;
+                    found = true;
+                }
+            }
+            if (!found)
+                return bad("unknown scheme '" + value + "'");
+        } else if (parseField(field, "heuristic", value)) {
+            bool found = false;
+            for (const HeuristicToken &h : kHeuristics) {
+                if (value == h.token) {
+                    out.heuristic = h.heuristic;
+                    found = true;
+                }
+            }
+            if (!found)
+                return bad("unknown heuristic '" + value + "'");
+        } else if (parseField(field, "width", value)) {
+            out.width = std::atoi(value.c_str());
+            if (out.width <= 0)
+                return bad("bad width '" + value + "'");
+        } else if (parseField(field, "dom-par", value)) {
+            out.dominator_parallelism = value != "0";
+        } else if (parseField(field, "pbr", value)) {
+            out.materialize_pbr = value != "0";
+        } else {
+            return bad("unknown config field '" + field + "'");
+        }
+    }
+    return true;
+}
+
+OracleFailure
+checkCell(const ir::Function &fn, size_t mem_words,
+          const FuzzConfig &config, const OracleOptions &opts,
+          double *estimated_time)
+{
+    // Profile a private clone; the profile drives region formation
+    // and is what the cost-model oracle checks conservation against.
+    ir::Function profiled = fn.clone();
+    workloads::ProfileOptions prof;
+    prof.input_seed = opts.input_seed;
+    prof.runs = opts.profile_runs;
+    prof.data_max = opts.data_max;
+    workloads::profileFunction(profiled, mem_words, prof);
+
+    // Compile a second clone (tail-duplicating schemes mutate it).
+    ir::Function transformed = profiled.clone();
+    sched::PipelineResult res =
+        sched::runPipeline(transformed, config.pipelineOptions());
+    if (estimated_time)
+        *estimated_time = res.estimated_time;
+
+    if (opts.tamper == 1) {
+        // Fault injection: corrupt one exit record's cycle. The
+        // legality oracle must catch this on any program whose
+        // schedule has at least one exit.
+        for (auto &[root, rs] : res.schedule.regions) {
+            if (!rs.exits.empty()) {
+                rs.exits.back().cycle += 1;
+                break;
+            }
+        }
+    }
+
+    // Oracle: IR verifier on the transformed sequential function.
+    {
+        const auto problems =
+            ir::verifyFunction(transformed, ir::VerifyLevel::Structural);
+        if (!problems.empty())
+            return {"ir-verify", firstLine(problems.front())};
+    }
+
+    // Oracle: schedule legality.
+    {
+        const auto problems = sched::verifyFunctionSchedule(
+            res.schedule, config.width);
+        if (!problems.empty())
+            return {"legality", firstLine(problems.front())};
+    }
+
+    // Oracle: cost-model sanity.
+    if (OracleFailure fail = checkCostModel(res, transformed))
+        return fail;
+
+    // Oracle: simulator equivalence on a family of input images.
+    for (int i = 0; i < opts.equivalence_inputs; ++i) {
+        const std::vector<int64_t> memory = workloads::makeInputMemory(
+            mem_words, opts.input_seed + static_cast<uint64_t>(i),
+            opts.data_max);
+        vliw::EquivalenceReport report = vliw::checkEquivalence(
+            profiled, transformed, res.schedule, memory);
+        if (report.incomplete)
+            continue;  // an execution limit was hit; nothing compared
+        if (!report.ok) {
+            return {"equivalence",
+                    strprintf("input %d: %s", i,
+                              firstLine(report.detail).c_str())};
+        }
+    }
+    return {};
+}
+
+OracleFailure
+checkRoundTrip(const ir::Module &mod)
+{
+    const std::string once = ir::moduleToString(mod);
+    std::string error;
+    std::unique_ptr<ir::Module> reparsed = ir::parseModule(once, &error);
+    if (!reparsed)
+        return {"round-trip", "print output failed to reparse: " +
+                                  firstLine(error)};
+    const std::string twice = ir::moduleToString(*reparsed);
+    if (once != twice) {
+        // Report the first differing line for the reducer and the
+        // human reading the repro.
+        const auto a = splitString(once, '\n');
+        const auto b = splitString(twice, '\n');
+        for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+            if (a[i] != b[i]) {
+                return {"round-trip",
+                        strprintf("line %zu: '%s' reprints as '%s'",
+                                  i + 1, a[i].c_str(), b[i].c_str())};
+            }
+        }
+        return {"round-trip",
+                strprintf("reprint has %zu lines, original %zu",
+                          b.size(), a.size())};
+    }
+    return {};
+}
+
+std::string
+makeReproHeader(const FuzzConfig &config, const OracleOptions &opts,
+                const std::string &oracle, const std::string &detail)
+{
+    std::ostringstream os;
+    os << "# treegion-fuzz repro\n";
+    os << "# oracle=" << oracle << "\n";
+    os << "# config: " << config.str() << "\n";
+    os << strprintf("# oracle-options: input-seed=%llu inputs=%d "
+                    "profile-runs=%d data-max=%d tamper=%d\n",
+                    static_cast<unsigned long long>(opts.input_seed),
+                    opts.equivalence_inputs, opts.profile_runs,
+                    opts.data_max, opts.tamper);
+    if (!detail.empty())
+        os << "# detail: " << firstLine(detail) << "\n";
+    return os.str();
+}
+
+bool
+parseReproHeader(const std::string &text, FuzzConfig &config,
+                 OracleOptions &opts, std::string *oracle,
+                 std::string *error)
+{
+    auto bad = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    bool saw_oracle = false;
+    bool saw_config = false;
+    for (const std::string &raw : splitString(text, '\n')) {
+        const std::string line{support::trim(raw)};
+        if (!startsWith(line, "#"))
+            continue;
+        const std::string body{support::trim(line.substr(1))};
+        std::string value;
+        if (parseField(body, "oracle", value)) {
+            if (oracle)
+                *oracle = value;
+            saw_oracle = true;
+        } else if (startsWith(body, "config: ")) {
+            std::string cfg_error;
+            if (!parseFuzzConfig(body.substr(8), config, &cfg_error))
+                return bad(cfg_error);
+            saw_config = true;
+        } else if (startsWith(body, "oracle-options: ")) {
+            for (const std::string &field :
+                 splitString(body.substr(16), ' ')) {
+                if (parseField(field, "input-seed", value))
+                    opts.input_seed = std::strtoull(value.c_str(),
+                                                    nullptr, 10);
+                else if (parseField(field, "inputs", value))
+                    opts.equivalence_inputs = std::atoi(value.c_str());
+                else if (parseField(field, "profile-runs", value))
+                    opts.profile_runs = std::atoi(value.c_str());
+                else if (parseField(field, "data-max", value))
+                    opts.data_max = std::atoi(value.c_str());
+                else if (parseField(field, "tamper", value))
+                    opts.tamper = std::atoi(value.c_str());
+            }
+        }
+    }
+    if (!saw_oracle || !saw_config)
+        return bad("missing '# oracle=' or '# config:' header line");
+    return true;
+}
+
+} // namespace treegion::fuzz

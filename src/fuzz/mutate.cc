@@ -1,0 +1,88 @@
+#include "fuzz/mutate.h"
+
+namespace treegion::fuzz {
+
+using support::Rng;
+using workloads::GenParams;
+
+namespace {
+
+int
+rangeInt(Rng &rng, int lo, int hi)
+{
+    return static_cast<int>(rng.nextRange(lo, hi));
+}
+
+/** Pick from a small set of interesting values. */
+template <typename T>
+T
+pick(Rng &rng, std::initializer_list<T> values)
+{
+    return values.begin()[rng.nextBelow(values.size())];
+}
+
+} // namespace
+
+GenParams
+mutateParams(Rng &rng)
+{
+    GenParams p;
+    p.seed = rng.next();
+
+    // Memory must exceed the reserved counter area plus some data.
+    p.mem_words = pick<size_t>(rng, {512, 1024, 4096});
+
+    p.top_units = rangeInt(rng, 1, 16);
+    p.max_depth = rangeInt(rng, 1, 5);
+    p.max_blocks = pick<size_t>(rng, {48, 256, 4000});
+
+    // Random structure mix; keep at least one weight positive.
+    p.p_straight = rng.nextDouble();
+    p.p_if = rng.nextDouble();
+    p.p_ifelse = rng.nextDouble();
+    p.p_switch = rng.nextDouble();
+    p.p_ladder = rng.nextDouble();
+    p.p_loop = rng.nextDouble();
+    if (p.p_straight + p.p_if + p.p_ifelse + p.p_switch + p.p_ladder +
+            p.p_loop <= 0.0)
+        p.p_straight = 1.0;
+
+    // Much wider switches than the proxy envelope (up to 24 arms).
+    p.switch_width_min = rangeInt(rng, 2, 6);
+    p.switch_width_max = p.switch_width_min + rangeInt(rng, 0, 18);
+
+    p.ladder_len_min = rangeInt(rng, 1, 4);
+    p.ladder_len_max = p.ladder_len_min + rangeInt(rng, 0, 6);
+
+    // Zero-trip loops are legal and give zero-weight loop bodies.
+    p.loop_trip_min = rangeInt(rng, 0, 3);
+    p.loop_trip_max = p.loop_trip_min + rangeInt(rng, 0, 9);
+
+    // Degenerate blocks: structures whose blocks carry no computation.
+    p.block_ops_min = rangeInt(rng, 0, 3);
+    p.block_ops_max = p.block_ops_min + rangeInt(rng, 0, 9);
+    p.switch_arm_ops_min = rangeInt(rng, 0, 2);
+    p.switch_arm_ops_max = p.switch_arm_ops_min + rangeInt(rng, 0, 4);
+
+    p.nest_prob = rng.nextDouble() * 0.9;
+    p.switch_arm_nest_prob = rng.nextDouble() * 0.6;
+    p.chain_frac = rng.nextDouble();
+
+    // Extreme biases produce paths the profile never sees.
+    p.bias = pick<double>(rng, {0.0, 0.02, 0.35, 0.5, 0.65, 0.98, 1.0});
+    p.ladder_break = rng.nextDouble();
+    p.ladder_dead_prob = rng.nextDouble();
+
+    p.mem_frac = rng.nextDouble() * 0.6;
+    p.store_frac = rng.nextDouble();
+    p.fp_frac = rng.nextBool(0.25) ? rng.nextDouble() * 0.3 : 0.0;
+
+    // data_max=1 makes every loaded cell zero: all comparisons
+    // degenerate and the hot/cold split collapses.
+    p.data_max = pick<int>(rng, {1, 2, 3, 8, 100});
+
+    p.pool_size = static_cast<size_t>(rangeInt(rng, 1, 8));
+    return p;
+}
+
+} // namespace treegion::fuzz

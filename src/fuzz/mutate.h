@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Generator-parameter mutation for fuzzing.
+ *
+ * The SPECint95 proxies keep workloads::GenParams inside a benchmark
+ * -like envelope; the fuzzer deliberately leaves it: deeper nesting,
+ * much wider switches, degenerate blocks (zero computation ops),
+ * zero-trip loops, fully biased branches (zero-weight paths), tiny
+ * data ranges (constant-folding-like degenerate comparisons) and
+ * single-register live pools.
+ */
+
+#ifndef TREEGION_FUZZ_MUTATE_H
+#define TREEGION_FUZZ_MUTATE_H
+
+#include "support/rng.h"
+#include "workloads/synthetic.h"
+
+namespace treegion::fuzz {
+
+/** Draw a random point of the widened generator envelope. */
+workloads::GenParams mutateParams(support::Rng &rng);
+
+} // namespace treegion::fuzz
+
+#endif // TREEGION_FUZZ_MUTATE_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Delta-debugging repro reduction at the IR level.
+ *
+ * Given a module that fails an oracle, the reducer repeatedly tries
+ * semantic-shrinking transformations — collapse conditional branches
+ * to one side (dropping whole subgraphs), delete computation ops in
+ * ddmin-style chunks, zero immediates — and keeps a candidate only
+ * when it still (a) passes the Schedulable IR verifier (it must
+ * remain a valid pipeline input) and (b) fails the *same* oracle.
+ * Iterates to a fixed point, so the final module is 1-minimal with
+ * respect to the transformation set: no single block collapse, op
+ * deletion or constant shrink preserves the failure.
+ */
+
+#ifndef TREEGION_FUZZ_REDUCER_H
+#define TREEGION_FUZZ_REDUCER_H
+
+#include <functional>
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace treegion::fuzz {
+
+/** Oracle predicate over a candidate module. */
+using OraclePredicate =
+    std::function<OracleFailure(const ir::Module &)>;
+
+/** Reduction knobs. */
+struct ReduceOptions
+{
+    int max_rounds = 10;          ///< full fixed-point iterations
+    size_t max_candidates = 4000; ///< total oracle evaluations
+};
+
+/** What the reducer achieved. */
+struct ReduceResult
+{
+    size_t original_ops = 0;  ///< op count before reduction
+    size_t reduced_ops = 0;   ///< op count after reduction
+    size_t candidates = 0;    ///< oracle evaluations spent
+    int rounds = 0;           ///< fixed-point iterations run
+};
+
+/**
+ * Shrink @p mod in place while @p pred keeps failing with
+ * @p oracle. @p mod must contain exactly one function and must
+ * already fail: pred(mod).oracle == oracle.
+ */
+ReduceResult reduceModule(ir::Module &mod, const std::string &oracle,
+                          const OraclePredicate &pred,
+                          const ReduceOptions &opts = {});
+
+} // namespace treegion::fuzz
+
+#endif // TREEGION_FUZZ_REDUCER_H

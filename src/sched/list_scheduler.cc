@@ -225,6 +225,7 @@ Scheduler::run()
     // Assemble the schedule: surviving ops sorted by (cycle, slot).
     RegionSchedule sched;
     sched.root = lowered_.root;
+    sched.succs_in_region = lowered_.succs_in_region;
     sched.stats.renamed_defs = lowered_.renamed_defs;
     sched.stats.elided_ops = elided_count;
 
@@ -245,6 +246,7 @@ Scheduler::run()
         sop.op = lowered_.ops[i].op;
         sop.cycle = state_[i].cycle;
         sop.slot = state_[i].slot;
+        sop.home = lowered_.ops[i].home;
         sop.speculative = lowered_.ops[i].kind ==
                               LoweredKind::Computation &&
                           !lowered_.ops[i].op.guard &&

@@ -8,8 +8,20 @@ double
 estimateRegionTime(const RegionSchedule &sched)
 {
     double time = 0.0;
-    for (const ScheduledExit &exit : sched.exits)
-        time += exit.weight * static_cast<double>(exit.cycle + 1);
+    for (const ScheduledExit &exit : sched.exits) {
+        // Never-taken exits contribute nothing, whatever cycle their
+        // branch landed in.
+        if (exit.weight <= 0.0)
+            continue;
+        // A path leaving via a branch issuing in cycle c costs c + 1
+        // cycles; a fall-through exit has no branch and costs the
+        // full schedule length (DESIGN.md §6).
+        const double cycles =
+            exit.op_index == ScheduledExit::kFallthrough
+                ? static_cast<double>(sched.length)
+                : static_cast<double>(exit.cycle + 1);
+        time += exit.weight * cycles;
+    }
     return time;
 }
 

@@ -28,6 +28,12 @@ struct ScheduledOp
     int cycle = 0;      ///< 0-based MultiOp row
     int slot = 0;       ///< issue slot within the row
     bool speculative = false;  ///< issued above a branch it followed
+
+    /** Original region block the op came from; the verifier derives
+     * path-relative memory program order from it. kNoBlock means
+     * "unknown home" (hand-built schedules), which the verifier
+     * treats as a single shared block. */
+    ir::BlockId home = ir::kNoBlock;
 };
 
 /** A renaming reconciliation copy applied when an exit is taken. */
@@ -40,8 +46,19 @@ struct ExitCopy
 /** One way control can leave a region schedule. */
 struct ScheduledExit
 {
+    /**
+     * Sentinel op_index for a fall-through exit: control leaves the
+     * region at the end of the schedule without a branch op firing.
+     * The list scheduler never produces these (every exit is an
+     * explicit retire-ASAP branch), but the representation admits
+     * them and the performance model must cost them as the full
+     * schedule length (DESIGN.md §6).
+     */
+    static constexpr size_t kFallthrough = static_cast<size_t>(-1);
+
     size_t op_index;       ///< index into RegionSchedule::ops of the
-                           ///< branch op that takes this exit
+                           ///< branch op that takes this exit, or
+                           ///< kFallthrough
     size_t target_slot;    ///< terminator target slot (MWBR case idx)
     ir::BlockId from;      ///< original block the exit came from
     ir::BlockId target;    ///< destination block (kNoBlock for RET)
@@ -68,6 +85,17 @@ struct RegionSchedule
     std::vector<ScheduledOp> ops;     ///< sorted by (cycle, slot)
     std::vector<ScheduledExit> exits;
     RegionSchedStats stats;
+
+    /**
+     * The region's internal control structure (copied from the
+     * lowering): for each member block, its in-region successors.
+     * Two op homes lie on a common root-to-exit path exactly when
+     * one reaches the other through this map; the verifier uses that
+     * to check memory program order. Empty for hand-built schedules,
+     * in which case all ops are treated as sharing one path.
+     */
+    std::unordered_map<ir::BlockId, std::vector<ir::BlockId>>
+        succs_in_region;
 
     /** Render the schedule as a cycle x slot text grid. */
     std::string str(int issue_width) const;

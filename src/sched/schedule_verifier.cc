@@ -1,6 +1,7 @@
 #include "sched/schedule_verifier.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/string_utils.h"
 #include "support/trace.h"
@@ -50,8 +51,23 @@ verifySchedule(const RegionSchedule &sched, int issue_width)
     for (const ScheduledOp &sop : sched.ops) {
         for (const ir::Reg &use : sop.op.usedRegs()) {
             auto it = writers.find(use);
-            if (it == writers.end())
+            if (it == writers.end()) {
+                // GPRs and BTRs may be live into the region, but
+                // every predicate is synthesized inside it (path
+                // predicates, guards, branch conditions); a predicate
+                // read with no in-schedule writer is undefined.
+                if (use.cls == ir::RegClass::Pred) {
+                    const bool is_guard =
+                        sop.op.guard && *sop.op.guard == use;
+                    err(strprintf(
+                        "'%s' reads %s %s which no scheduled op "
+                        "defines",
+                        sop.op.str().c_str(),
+                        is_guard ? "guard predicate" : "predicate",
+                        use.str().c_str()));
+                }
                 continue;  // live-in register
+            }
             for (const ScheduledOp *w : it->second) {
                 if (w == &sop)
                     continue;
@@ -67,8 +83,78 @@ verifySchedule(const RegionSchedule &sched, int issue_width)
         }
     }
 
+    // Memory program order along a path. Two memory ops whose home
+    // blocks lie on one root-to-exit path both execute in a single
+    // region traversal, so when either is a store they must issue in
+    // program order (the DDG's 0-latency slot-ordered edges); a store
+    // reordered past a dependent load would silently read or clobber
+    // the wrong value. Reachability through succs_in_region decides
+    // "same path"; within one home block, op ids ascend in program
+    // order (lowering emits blocks front to back with fresh ids).
+    std::unordered_map<ir::BlockId, std::unordered_set<ir::BlockId>>
+        reach;
+    auto reaches = [&](ir::BlockId from, ir::BlockId to) {
+        auto [it, fresh] = reach.try_emplace(from);
+        if (fresh) {
+            std::vector<ir::BlockId> work{from};
+            while (!work.empty()) {
+                const ir::BlockId cur = work.back();
+                work.pop_back();
+                if (!it->second.insert(cur).second)
+                    continue;
+                auto s = sched.succs_in_region.find(cur);
+                if (s != sched.succs_in_region.end())
+                    work.insert(work.end(), s->second.begin(),
+                                s->second.end());
+            }
+        }
+        return it->second.count(to) != 0;
+    };
+    auto slotBefore = [](const ScheduledOp *a, const ScheduledOp *b) {
+        return a->cycle < b->cycle ||
+               (a->cycle == b->cycle && a->slot < b->slot);
+    };
+    std::vector<const ScheduledOp *> mem_ops;
+    for (const ScheduledOp &sop : sched.ops) {
+        if (sop.op.isMemory())
+            mem_ops.push_back(&sop);
+    }
+    for (size_t i = 0; i < mem_ops.size(); ++i) {
+        for (size_t j = i + 1; j < mem_ops.size(); ++j) {
+            const ScheduledOp *a = mem_ops[i];
+            const ScheduledOp *b = mem_ops[j];
+            if (!a->op.isStore() && !b->op.isStore())
+                continue;
+            const ScheduledOp *first = nullptr;
+            const ScheduledOp *second = nullptr;
+            if (a->home == b->home) {
+                first = a->op.id < b->op.id ? a : b;
+                second = first == a ? b : a;
+            } else if (reaches(a->home, b->home)) {
+                first = a;
+                second = b;
+            } else if (reaches(b->home, a->home)) {
+                first = b;
+                second = a;
+            } else {
+                continue;  // disjoint paths: never both executed
+            }
+            if (!slotBefore(first, second)) {
+                err(strprintf(
+                    "memory order violated on a path: '%s' "
+                    "(cycle %d slot %d) must issue before '%s' "
+                    "(cycle %d slot %d)",
+                    first->op.str().c_str(), first->cycle,
+                    first->slot, second->op.str().c_str(),
+                    second->cycle, second->slot));
+            }
+        }
+    }
+
     // Exit records point at branches and carry matching cycles.
     for (const ScheduledExit &exit : sched.exits) {
+        if (exit.op_index == ScheduledExit::kFallthrough)
+            continue;  // no branch op to cross-check
         if (exit.op_index >= sched.ops.size()) {
             err("exit op_index out of range");
             continue;

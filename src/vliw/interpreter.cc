@@ -124,8 +124,15 @@ runSequential(ir::Function &fn, std::vector<int64_t> memory,
                 }
             }
             if (!found) {
-                TG_PANIC("MWBR selector %lld matches no case in bb%u",
-                         static_cast<long long>(sel), cur);
+                // A selector outside the case table means the
+                // program is dynamically malformed; the generator
+                // always narrows selectors into range, but fuzz
+                // reduction can delete or shrink part of the
+                // narrowing chain. Halt without completing so
+                // callers reject the execution instead of the
+                // process aborting.
+                result.memory = state.memory();
+                return result;  // completed stays false
             }
             break;
           }

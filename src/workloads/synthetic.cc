@@ -282,10 +282,19 @@ class Generator
             // paper observed in gcc's and perl's multiway branches.
             const int hot = static_cast<int>(rng_.nextRange(1, width));
             const Reg x = loadData(pool);
+            // Data cells start in [0, data_max), but stores can
+            // clobber them with negative computed values, and REM
+            // truncates toward zero, so REM alone can yield a
+            // negative selector that no MWBR case matches. Shift the
+            // remainder into range: x REM hot is in (-hot, hot),
+            // plus hot is in (0, 2*hot), REM hot lands in [0, hot).
+            // For unclobbered data the selector value is unchanged.
             const Reg narrowed = builder_.binary(
                 Opcode::REM, Builder::R(x), Builder::I(hot));
+            const Reg shifted = builder_.binary(
+                Opcode::ADD, Builder::R(narrowed), Builder::I(hot));
             const Reg sel = builder_.binary(
-                Opcode::REM, Builder::R(narrowed), Builder::I(width));
+                Opcode::REM, Builder::R(shifted), Builder::I(hot));
 
             std::vector<BlockId> arms;
             for (int i = 0; i < width; ++i)

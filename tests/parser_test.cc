@@ -138,6 +138,109 @@ func @main entry=bb0 gprs=2 preds=0 {
     EXPECT_EQ(mod->function("main").block(0).ops()[0].srcs[0].imm, -42);
 }
 
+/** Parse @p text, print, reparse, print; both prints must match. */
+void
+expectRoundTripFixedPoint(const char *text)
+{
+    std::string error;
+    auto mod = parseModule(text, &error);
+    ASSERT_NE(mod, nullptr) << error;
+    const std::string once = moduleToString(*mod);
+    auto reparsed = parseModule(once, &error);
+    ASSERT_NE(reparsed, nullptr) << error;
+    EXPECT_EQ(once, moduleToString(*reparsed));
+}
+
+// Edge inputs exercised by the differential fuzzer's round-trip
+// oracle. None of these ever failed (the fuzz campaigns found no
+// printer/parser mismatch); they are pinned so that stays true.
+TEST(Parser, RoundTripExtremeImmediates)
+{
+    expectRoundTripFixedPoint(R"(
+module m mem=64
+func @main entry=bb0 gprs=2 preds=0 {
+  block bb0 weight=0 {
+    r0 = MOVI -9223372036854775808
+    r1 = ADD r0, -9223372036854775807
+    RET r1
+  }
+}
+)");
+}
+
+TEST(Parser, RoundTripNegativeMemoryOffsets)
+{
+    expectRoundTripFixedPoint(R"(
+module m mem=64
+func @main entry=bb0 gprs=3 preds=0 {
+  block bb0 weight=0 {
+    r0 = MOVI 32
+    r1 = LD [r0 + -4]
+    ST [r0 + -8], r1
+    RET r1
+  }
+}
+)");
+}
+
+TEST(Parser, RoundTripFractionalWeights)
+{
+    // %.6g printing must be a fixed point even for weights that are
+    // not exactly representable or exceed six significant digits.
+    expectRoundTripFixedPoint(R"(
+module m mem=64
+func @main entry=bb0 gprs=2 preds=1 {
+  block bb0 weight=0.30000000000000004 edges=[0.1,0.2] {
+    p0 = CMPP.LT r0, 5
+    BRCT p0 bb1, bb2
+  }
+  block bb1 weight=1234567.25 {
+    BRU bb2
+  }
+  block bb2 weight=1e9 {
+    r1 = MOVI 0
+    RET r1
+  }
+}
+)");
+}
+
+TEST(Parser, AcceptsCrlfTabsAndComments)
+{
+    // Repro files carry "# " header lines, and foreign editors
+    // introduce CRLF endings and tab indentation; none of it may
+    // change the parse.
+    const char *base = R"(
+# treegion-fuzz repro
+module m mem=64
+# comment between declarations
+func @main entry=bb0 gprs=2 preds=0 {
+  block bb0 weight=0 {
+    # comment inside a block
+    r0 = MOVI 7
+    r1 = ADD r0, 1
+    RET r1
+  }
+}
+)";
+    std::string error;
+    auto plain = parseModule(base, &error);
+    ASSERT_NE(plain, nullptr) << error;
+
+    std::string mangled;
+    for (const char *p = base; *p; ++p) {
+        if (*p == '\n')
+            mangled += '\r';
+        mangled += *p;
+    }
+    size_t pos;
+    while ((pos = mangled.find("  ")) != std::string::npos)
+        mangled.replace(pos, 2, "\t");
+    auto parsed = parseModule(mangled, &error);
+    ASSERT_NE(parsed, nullptr) << error;
+    EXPECT_EQ(moduleToString(*plain), moduleToString(*parsed));
+}
+
 TEST(Parser, RoundTripGeneratedProxies)
 {
     // Print-then-parse every SPECint95 proxy and check the round trip

@@ -13,7 +13,9 @@
 #include "ir/builder.h"
 #include "region/formation.h"
 #include "sched/ddg.h"
+#include "sched/perf_model.h"
 #include "sched/pipeline.h"
+#include "sched/schedule_verifier.h"
 #include "workloads/profiler.h"
 #include "workloads/synthetic.h"
 
@@ -343,6 +345,131 @@ TEST(Scheduler, PaperHeuristicNamesAreStable)
     EXPECT_EQ(heuristicName(Heuristic::GlobalWeight), "global-weight");
     EXPECT_EQ(heuristicName(Heuristic::WeightedCount),
               "weighted-count");
+}
+
+/** Place @p op at (cycle, slot) with program-order id @p id. */
+ScheduledOp
+placed(ir::Op op, ir::OpId id, int cycle, int slot)
+{
+    ScheduledOp sop;
+    sop.op = std::move(op);
+    sop.op.id = id;
+    sop.cycle = cycle;
+    sop.slot = slot;
+    return sop;
+}
+
+// A store reordered past a load of the same path must be rejected:
+// with both ops in one home block, ascending op id is program order,
+// and the load here follows the store (it reads what was written).
+TEST(ScheduleVerifier, RejectsStoreReorderedPastDependentLoad)
+{
+    RegionSchedule sched;
+    sched.length = 2;
+    // Program order: ST [r0+4] <- r1 (id 10), then r2 = LD [r0+4]
+    // (id 20). r0/r1 are region live-ins.
+    sched.ops.push_back(
+        placed(ir::makeStore(ir::gpr(0), 4,
+                             ir::Operand::makeReg(ir::gpr(1))),
+               10, 1, 0));
+    sched.ops.push_back(
+        placed(ir::makeLoad(ir::gpr(2), ir::gpr(0), 4), 20, 0, 0));
+    const auto problems = verifySchedule(sched, 4);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("memory order"), std::string::npos)
+        << problems.front();
+
+    // The program-order placement is legal.
+    RegionSchedule fixed = sched;
+    fixed.ops[0].cycle = 0;
+    fixed.ops[1].cycle = 1;
+    EXPECT_TRUE(verifySchedule(fixed, 4).empty());
+}
+
+// Memory ops in region blocks on disjoint paths never execute in the
+// same traversal, so their relative order is unconstrained.
+TEST(ScheduleVerifier, AllowsStoreLoadReorderAcrossDisjointPaths)
+{
+    RegionSchedule sched;
+    sched.root = 0;
+    sched.length = 2;
+    sched.succs_in_region[0] = {1, 2};  // diamond: root forks to 1, 2
+    ScheduledOp st = placed(
+        ir::makeStore(ir::gpr(0), 4, ir::Operand::makeReg(ir::gpr(1))),
+        10, 1, 0);
+    st.home = 1;
+    ScheduledOp ld =
+        placed(ir::makeLoad(ir::gpr(2), ir::gpr(0), 4), 20, 0, 0);
+    ld.home = 2;
+    sched.ops.push_back(st);
+    sched.ops.push_back(ld);
+    EXPECT_TRUE(verifySchedule(sched, 4).empty());
+
+    // Same pair with the load downstream of the store is ordered.
+    sched.succs_in_region[1] = {2};
+    EXPECT_FALSE(verifySchedule(sched, 4).empty());
+}
+
+// Every predicate is synthesized inside the region (path predicates,
+// guards, branch conditions), so a guard read with no in-schedule
+// writer is an undefined predicate, not a live-in.
+TEST(ScheduleVerifier, RejectsUndefinedGuardPredicate)
+{
+    RegionSchedule sched;
+    sched.length = 3;
+    ScheduledOp guarded =
+        placed(ir::makeBinary(Opcode::ADD, ir::gpr(1),
+                              ir::Operand::makeReg(ir::gpr(0)),
+                              ir::Operand::makeImm(1)),
+               10, 2, 0);
+    guarded.op.guard = ir::pred(0);
+    sched.ops.push_back(guarded);
+    const auto problems = verifySchedule(sched, 4);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("guard predicate"),
+              std::string::npos)
+        << problems.front();
+
+    // Defining the guard early enough makes the schedule legal.
+    RegionSchedule fixed = sched;
+    fixed.ops.push_back(
+        placed(ir::makeCmpp1(CmpKind::LT,  ir::pred(0),
+                             ir::Operand::makeReg(ir::gpr(0)),
+                             ir::Operand::makeImm(5)),
+               5, 0, 0));
+    EXPECT_TRUE(verifySchedule(fixed, 4).empty());
+}
+
+// A fall-through exit has no branch op: the path stays in the region
+// for the whole schedule, so it costs weight x length (DESIGN.md §6).
+TEST(PerfModel, FallthroughExitCostsFullScheduleLength)
+{
+    RegionSchedule sched;
+    sched.length = 5;
+    ScheduledExit exit;
+    exit.op_index = ScheduledExit::kFallthrough;
+    exit.weight = 2.0;
+    sched.exits.push_back(exit);
+    EXPECT_DOUBLE_EQ(estimateRegionTime(sched), 2.0 * 5);
+    EXPECT_TRUE(verifySchedule(sched, 4).empty());
+}
+
+// Never-taken exits (zero profile weight) contribute nothing, even
+// with nonsense cycles; only executed paths cost time.
+TEST(PerfModel, ZeroWeightExitContributesNothing)
+{
+    RegionSchedule sched;
+    sched.length = 4;
+    ScheduledExit dead;
+    dead.op_index = ScheduledExit::kFallthrough;
+    dead.weight = 0.0;
+    dead.cycle = 1 << 20;
+    sched.exits.push_back(dead);
+    ScheduledExit hot;
+    hot.op_index = ScheduledExit::kFallthrough;
+    hot.weight = 3.0;
+    sched.exits.push_back(hot);
+    EXPECT_DOUBLE_EQ(estimateRegionTime(sched), 3.0 * 4);
 }
 
 } // namespace

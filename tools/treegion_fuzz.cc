@@ -1,0 +1,145 @@
+/**
+ * @file
+ * treegion-fuzz: differential fuzzing driver.
+ *
+ * Generates random programs from a widened workloads::GenParams
+ * envelope, compiles every (scheme x heuristic x width) cell across
+ * a work-stealing thread pool, and cross-checks four oracles per
+ * cell (simulator equivalence, schedule legality, IR verification,
+ * cost-model sanity) plus the textual round trip per program. Any
+ * failure is shrunk by the delta-debugging reducer and written to
+ * the corpus as a self-describing .tir repro.
+ *
+ * Usage:
+ *   treegion-fuzz [options]
+ *   --budget-seconds N   wall-clock budget (default 30)
+ *   --programs N         stop after N programs (default: budget only)
+ *   --jobs N             worker threads (default: hardware)
+ *   --seed S             campaign seed (default 1)
+ *   --corpus DIR         repro directory (default fuzz/corpus)
+ *   --no-reduce          write unminimized repros
+ *   --tamper K           fault injection (1 = corrupt an exit cycle)
+ *   --proxy-audit W      instead of fuzzing, run all oracles over
+ *                        the SPECint95 proxies at issue width W
+ *   --trace-json FILE    dump Chrome trace events to FILE
+ *   --verbose            per-program progress
+ *
+ * Exit status: 0 when every cell passed, 1 on any oracle failure.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/campaign.h"
+#include "support/trace.h"
+
+using namespace treegion;
+
+namespace {
+
+int
+runAudit(int width, size_t jobs)
+{
+    const std::vector<fuzz::ProxyAuditRow> rows =
+        fuzz::runProxyAudit(width, jobs);
+    size_t violations = 0;
+    std::string proxy;
+    for (const fuzz::ProxyAuditRow &row : rows) {
+        if (row.proxy != proxy) {
+            proxy = row.proxy;
+            std::printf("%s (bb@1U baseline %.0f cycles)\n",
+                        proxy.c_str(), row.baseline);
+        }
+        std::printf("  %-64s est %10.1f  speedup %5.2f  %s%s\n",
+                    row.config.str().c_str(), row.estimate,
+                    row.estimate > 0.0 ? row.baseline / row.estimate
+                                       : 0.0,
+                    row.oracle.empty() ? "ok" : "FAIL ",
+                    row.oracle.c_str());
+        if (!row.oracle.empty()) {
+            ++violations;
+            std::printf("    %s\n", row.detail.c_str());
+        }
+    }
+    std::printf("proxy audit at %dU: %zu cells, %zu oracle "
+                "violations\n",
+                width, rows.size(), violations);
+    return violations == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fuzz::CampaignOptions opts;
+    std::string trace_json;
+    int audit_width = 0;
+
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value after %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--budget-seconds") {
+            opts.budget_seconds = std::atof(next(i));
+        } else if (arg == "--programs") {
+            opts.max_programs =
+                static_cast<size_t>(std::atoll(next(i)));
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<size_t>(std::atoll(next(i)));
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next(i), nullptr, 0);
+        } else if (arg == "--corpus") {
+            opts.corpus_dir = next(i);
+        } else if (arg == "--no-reduce") {
+            opts.reduce = false;
+        } else if (arg == "--tamper") {
+            opts.oracle.tamper = std::atoi(next(i));
+        } else if (arg == "--proxy-audit") {
+            audit_width = std::atoi(next(i));
+        } else if (arg == "--trace-json") {
+            trace_json = next(i);
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    if (!trace_json.empty())
+        support::TraceCollector::instance().setEnabled(true);
+
+    int status = 0;
+    if (audit_width > 0) {
+        status = runAudit(audit_width, opts.jobs);
+    } else {
+        const fuzz::CampaignResult result = fuzz::runCampaign(opts);
+        std::printf("treegion-fuzz: %zu programs, %zu cells, "
+                    "%zu failing cells, %zu minimized repros\n",
+                    result.programs, result.cells, result.failures,
+                    result.bugs.size());
+        for (const fuzz::FoundBug &bug : result.bugs) {
+            std::printf("  %s: %s (%zu -> %zu ops) %s\n",
+                        bug.oracle.c_str(), bug.config.str().c_str(),
+                        bug.original_ops, bug.reduced_ops,
+                        bug.repro_path.c_str());
+        }
+        status = result.failures == 0 ? 0 : 1;
+    }
+
+    if (!trace_json.empty() &&
+        !support::TraceCollector::instance().writeChromeTraceFile(
+            trace_json)) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_json.c_str());
+    }
+    return status;
+}
