@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "sched/pipeline.h"
+#include "support/stats.h"
 #include "workloads/profiler.h"
 #include "workloads/spec_proxy.h"
 
@@ -77,16 +78,25 @@ BM_ParallelSweep(benchmark::State &state)
     const size_t threads = static_cast<size_t>(state.range(0));
     const auto jobs = sweepJobs();
     double checksum = 0.0;
+    // Per-job compile latency distribution across all iterations;
+    // the tail (p99 vs p50) shows how unevenly the sweep's job sizes
+    // load the pool.
+    support::Histogram latency;
     for (auto _ : state) {
         auto results = sched::runPipelineParallel(jobs, threads);
-        for (const auto &r : results)
+        for (const auto &r : results) {
             checksum += r.result.estimated_time;
+            latency.add(r.compile_ms);
+        }
         benchmark::DoNotOptimize(checksum);
     }
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations() * jobs.size()));
     state.counters["jobs"] = static_cast<double>(jobs.size());
     state.counters["threads"] = static_cast<double>(threads);
+    state.counters["job_p50_ms"] = latency.p50();
+    state.counters["job_p95_ms"] = latency.p95();
+    state.counters["job_p99_ms"] = latency.p99();
 }
 BENCHMARK(BM_ParallelSweep)
     ->Arg(1)

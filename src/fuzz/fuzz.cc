@@ -235,10 +235,12 @@ checkCell(const ir::Function &fn, size_t mem_words,
     prof.data_max = opts.data_max;
     workloads::profileFunction(profiled, mem_words, prof);
 
-    // Compile a second clone (tail-duplicating schemes mutate it).
-    ir::Function transformed = profiled.clone();
-    sched::PipelineResult res =
-        sched::runPipeline(transformed, config.pipelineOptions());
+    // Compile on a second, private clone (tail-duplicating schemes
+    // mutate the function they compile).
+    sched::ClonedPipelineRun run =
+        sched::runPipelineOnClone(profiled, config.pipelineOptions());
+    ir::Function &transformed = run.fn;
+    sched::PipelineResult &res = run.result;
     if (estimated_time)
         *estimated_time = res.estimated_time;
 

@@ -1,9 +1,13 @@
 #include "sched/pipeline.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 
 #include "analysis/liveness.h"
 #include "support/logging.h"
+#include "support/string_utils.h"
 #include "support/trace.h"
 
 namespace treegion::sched {
@@ -20,6 +24,133 @@ regionSchemeName(RegionScheme scheme)
       case RegionScheme::Hyperblock: return "hyper";
     }
     TG_PANIC("bad RegionScheme");
+}
+
+bool
+parseRegionScheme(const std::string &name, RegionScheme &out)
+{
+    if (name == "bb")
+        out = RegionScheme::BasicBlock;
+    else if (name == "slr")
+        out = RegionScheme::Slr;
+    else if (name == "sb")
+        out = RegionScheme::Superblock;
+    else if (name == "tree")
+        out = RegionScheme::Treegion;
+    else if (name == "tree-td")
+        out = RegionScheme::TreegionTailDup;
+    else if (name == "hyper")
+        out = RegionScheme::Hyperblock;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseHeuristicName(const std::string &name, Heuristic &out)
+{
+    if (name == "h" || name == "dep-height")
+        out = Heuristic::DependenceHeight;
+    else if (name == "ec" || name == "exit-count")
+        out = Heuristic::ExitCount;
+    else if (name == "gw" || name == "global-weight")
+        out = Heuristic::GlobalWeight;
+    else if (name == "wc" || name == "weighted-count")
+        out = Heuristic::WeightedCount;
+    else
+        return false;
+    return true;
+}
+
+std::string
+encodePipelineOptions(const PipelineOptions &o)
+{
+    std::ostringstream os;
+    os << "scheme=" << regionSchemeName(o.scheme)
+       << " heuristic=" << heuristicName(o.sched.heuristic)
+       << " width=" << o.model.issue_width
+       << " dom-par=" << (o.sched.dominator_parallelism ? 1 : 0)
+       << " pbr=" << (o.sched.materialize_pbr ? 1 : 0)
+       << support::strprintf(" td-expansion=%.17g",
+                             o.tail_dup.expansion_limit)
+       << " td-paths=" << o.tail_dup.path_limit
+       << " td-merge=" << o.tail_dup.merge_limit
+       << " td-max-blocks=" << o.tail_dup.max_region_blocks
+       << support::strprintf(" sb-cold=%.17g sb-prob=%.17g",
+                             o.superblock.cold_edge_weight,
+                             o.superblock.min_edge_prob)
+       << " sb-mml=" << (o.superblock.mutual_most_likely ? 1 : 0)
+       << " sb-max-blocks=" << o.superblock.max_blocks
+       << support::strprintf(" hb-ratio=%.17g",
+                             o.hyperblock.min_weight_ratio)
+       << " hb-max-blocks=" << o.hyperblock.max_blocks
+       << " hb-paths=" << o.hyperblock.path_limit;
+    return os.str();
+}
+
+bool
+parsePipelineOptions(const std::string &text, PipelineOptions &out,
+                     std::string *error)
+{
+    auto bad = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    for (const std::string &field : support::splitString(text, ' ')) {
+        const size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            return bad("expected key=value, got '" + field + "'");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "scheme") {
+            if (!parseRegionScheme(value, out.scheme))
+                return bad("unknown scheme '" + value + "'");
+        } else if (key == "heuristic") {
+            if (!parseHeuristicName(value, out.sched.heuristic))
+                return bad("unknown heuristic '" + value + "'");
+        } else if (key == "width") {
+            const int width = std::atoi(value.c_str());
+            if (width <= 0 || width > 64)
+                return bad("bad width '" + value + "'");
+            out.model = MachineModel::custom(width);
+        } else if (key == "dom-par") {
+            out.sched.dominator_parallelism = value != "0";
+        } else if (key == "pbr") {
+            out.sched.materialize_pbr = value != "0";
+        } else if (key == "td-expansion") {
+            out.tail_dup.expansion_limit = std::atof(value.c_str());
+        } else if (key == "td-paths") {
+            out.tail_dup.path_limit =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (key == "td-merge") {
+            out.tail_dup.merge_limit =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (key == "td-max-blocks") {
+            out.tail_dup.max_region_blocks =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (key == "sb-cold") {
+            out.superblock.cold_edge_weight = std::atof(value.c_str());
+        } else if (key == "sb-prob") {
+            out.superblock.min_edge_prob = std::atof(value.c_str());
+        } else if (key == "sb-mml") {
+            out.superblock.mutual_most_likely = value != "0";
+        } else if (key == "sb-max-blocks") {
+            out.superblock.max_blocks =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (key == "hb-ratio") {
+            out.hyperblock.min_weight_ratio = std::atof(value.c_str());
+        } else if (key == "hb-max-blocks") {
+            out.hyperblock.max_blocks =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (key == "hb-paths") {
+            out.hyperblock.path_limit =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else {
+            return bad("unknown option key '" + key + "'");
+        }
+    }
+    return true;
 }
 
 PipelineResult
@@ -97,14 +228,28 @@ runPipeline(ir::Function &fn, const PipelineOptions &options)
     return result;
 }
 
+ClonedPipelineRun
+runPipelineOnClone(const ir::Function &fn,
+                   const PipelineOptions &options)
+{
+    const auto start = std::chrono::steady_clock::now();
+    ClonedPipelineRun run{fn.clone(), {}, 0.0};
+    run.result = runPipeline(run.fn, options);
+    run.compile_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return run;
+}
+
 double
-estimateBaselineTime(ir::Function &fn)
+estimateBaselineTime(const ir::Function &fn)
 {
     PipelineOptions options;
     options.scheme = RegionScheme::BasicBlock;
     options.model = MachineModel::scalar1U();
     options.sched.heuristic = Heuristic::DependenceHeight;
-    return runPipeline(fn, options).estimated_time;
+    return runPipelineOnClone(fn, options).result.estimated_time;
 }
 
 namespace {
@@ -117,9 +262,10 @@ runOneJob(const PipelineJob &job)
     support::TraceScope span("job", "driver");
     span.arg("label",
              job.label.empty() ? job.fn->name() : job.label);
-    PipelineJobResult out{job.fn->clone(), {}, job.label};
-    out.result = runPipeline(out.fn, job.options);
-    return out;
+    ClonedPipelineRun run = runPipelineOnClone(*job.fn, job.options);
+    return PipelineJobResult{std::move(run.fn),
+                             std::move(run.result), job.label,
+                             run.compile_ms};
 }
 
 } // namespace

@@ -43,6 +43,12 @@ enum class RegionScheme {
 /** @return display name of @p scheme. */
 std::string regionSchemeName(RegionScheme scheme);
 
+/** Parse a regionSchemeName() token. @return false on error. */
+bool parseRegionScheme(const std::string &name, RegionScheme &out);
+
+/** Parse a heuristic name ("gw" or "global-weight" style). */
+bool parseHeuristicName(const std::string &name, Heuristic &out);
+
 /** Full pipeline configuration. */
 struct PipelineOptions
 {
@@ -53,6 +59,25 @@ struct PipelineOptions
     region::SuperblockOptions superblock;  ///< for Superblock
     region::HyperblockOptions hyperblock;  ///< for Hyperblock
 };
+
+/**
+ * Render @p options as one canonical "key=value key=value ..." line
+ * covering every field (scheme, heuristic, width, scheduler flags,
+ * tail-dup / superblock / hyperblock limits). Two PipelineOptions
+ * encode identically iff they configure identical compilations, so
+ * the encoding doubles as the options half of the compile-cache key
+ * and as the wire format of the compile service.
+ */
+std::string encodePipelineOptions(const PipelineOptions &options);
+
+/**
+ * Parse encodePipelineOptions() output (any subset of the fields, in
+ * any order; omitted fields keep their defaults). @return false and
+ * set @p error on an unknown key or a malformed value.
+ */
+bool parsePipelineOptions(const std::string &text,
+                          PipelineOptions &out,
+                          std::string *error = nullptr);
 
 /** Everything the experiments need from one pipeline run. */
 struct PipelineResult
@@ -74,11 +99,31 @@ struct PipelineResult
 PipelineResult runPipeline(ir::Function &fn,
                            const PipelineOptions &options);
 
+/** A pipeline run on a private clone of the input function. */
+struct ClonedPipelineRun
+{
+    /** The compiled clone (tail-duplicating schemes mutate it). */
+    ir::Function fn;
+    PipelineResult result;
+    double compile_ms = 0.0;  ///< wall time of the pipeline run
+};
+
+/**
+ * Const-safe pipeline entry point: clone @p fn, run the pipeline on
+ * the clone, and return both. The input is never mutated, so the
+ * same function can be compiled under any number of configurations
+ * concurrently — this is the only pipeline entry point shared state
+ * (the compile service, the fuzzer, the parallel driver) should use.
+ */
+ClonedPipelineRun runPipelineOnClone(const ir::Function &fn,
+                                     const PipelineOptions &options);
+
 /**
  * The paper's baseline: basic-block scheduling on the single-issue
- * machine. @return its estimated execution time for @p fn.
+ * machine, run on a private clone. @return its estimated execution
+ * time for @p fn.
  */
-double estimateBaselineTime(ir::Function &fn);
+double estimateBaselineTime(const ir::Function &fn);
 
 /**
  * One unit of batched compilation: a function x configuration pair.
@@ -98,7 +143,8 @@ struct PipelineJobResult
     /** The compiled clone (tail-duplicating schemes mutate it). */
     ir::Function fn;
     PipelineResult result;
-    std::string label;  ///< copied from the job
+    std::string label;        ///< copied from the job
+    double compile_ms = 0.0;  ///< wall time of this job's pipeline run
 };
 
 /**

@@ -1,0 +1,113 @@
+#include "service/cache.h"
+
+#include <sstream>
+#include <utility>
+
+#include "ir/printer.h"
+#include "support/hash.h"
+#include "support/string_utils.h"
+
+namespace treegion::service {
+
+std::string
+CacheKey::str() const
+{
+    return support::strprintf("%016llx%016llx",
+                              static_cast<unsigned long long>(hi),
+                              static_cast<unsigned long long>(lo));
+}
+
+std::string
+canonicalFunctionText(const ir::Function &fn)
+{
+    std::ostringstream os;
+    ir::printFunction(os, fn);
+    return os.str();
+}
+
+CacheKey
+makeCacheKey(const std::string &canonical_fn,
+             const std::string &config_fingerprint)
+{
+    // Two independent FNV-1a streams over "<fn> \x1f <config>"; the
+    // separator keeps (a, b) and (a + prefix-of-b, rest) distinct.
+    CacheKey key;
+    key.lo = support::fnv1a64(
+        config_fingerprint,
+        support::fnv1a64("\x1f", support::fnv1a64(canonical_fn)));
+    key.hi = support::fnv1a64(
+        config_fingerprint,
+        support::fnv1a64(
+            "\x1f", support::fnv1a64(canonical_fn,
+                                     support::kFnvOffsetBasisAlt)));
+    return key;
+}
+
+std::optional<std::string>
+CompileCache::lookup(const CacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++counters_.misses;
+        return std::nullopt;
+    }
+    ++counters_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->payload;
+}
+
+void
+CompileCache::insert(const CacheKey &key, std::string payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (payload.size() > max_bytes_)
+        return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= it->second->payload.size();
+        bytes_ += payload.size();
+        it->second->payload = std::move(payload);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        evictUntilFits(0);
+        return;
+    }
+    evictUntilFits(payload.size());
+    lru_.push_front(Entry{key, std::move(payload)});
+    bytes_ += lru_.front().payload.size();
+    index_.emplace(key, lru_.begin());
+    ++counters_.insertions;
+}
+
+void
+CompileCache::evictUntilFits(size_t incoming_bytes)
+{
+    while (!lru_.empty() && bytes_ + incoming_bytes > max_bytes_) {
+        const Entry &victim = lru_.back();
+        bytes_ -= victim.payload.size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++counters_.evictions;
+    }
+}
+
+CompileCache::Stats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = counters_;
+    out.bytes = bytes_;
+    out.entries = lru_.size();
+    return out;
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+}
+
+} // namespace treegion::service

@@ -1,0 +1,136 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/string_utils.h"
+
+namespace treegion::service {
+
+std::unique_ptr<Client>
+Client::connect(const std::string &address, std::string *error)
+{
+    if (support::startsWith(address, "unix:"))
+        return connectUnix(address.substr(5), error);
+    if (!address.empty() && address[0] == '/')
+        return connectUnix(address, error);
+    const size_t colon = address.rfind(':');
+    if (colon == std::string::npos) {
+        if (error)
+            *error = "expected unix:<path>, /abs/path or host:port, "
+                     "got '" +
+                     address + "'";
+        return nullptr;
+    }
+    const int port = std::atoi(address.substr(colon + 1).c_str());
+    if (port <= 0 || port > 65535) {
+        if (error)
+            *error = "bad port in '" + address + "'";
+        return nullptr;
+    }
+    return connectTcp(address.substr(0, colon), port, error);
+}
+
+std::unique_ptr<Client>
+Client::connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "unix socket path too long: " + path;
+        return nullptr;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::strerror(errno);
+        return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = path + ": " + std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<Client>(new Client(fd));
+}
+
+std::unique_ptr<Client>
+Client::connectTcp(const std::string &host, int port,
+                   std::string *error)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        // Not a literal address: resolve it.
+        hostent *ent = ::gethostbyname(host.c_str());
+        if (!ent || ent->h_addrtype != AF_INET || !ent->h_addr_list[0]) {
+            if (error)
+                *error = "cannot resolve host '" + host + "'";
+            return nullptr;
+        }
+        std::memcpy(&addr.sin_addr, ent->h_addr_list[0],
+                    sizeof(addr.sin_addr));
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::strerror(errno);
+        return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = support::strprintf("%s:%d: %s", host.c_str(),
+                                        port, std::strerror(errno));
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Client::call(const Request &req, Response *resp, std::string *error)
+{
+    // A failed write may still have an answer waiting: a server
+    // rejecting an oversized frame responds without reading the
+    // whole payload, so our write can die on EPIPE while the
+    // rejection sits in the receive buffer. Read before giving up.
+    std::string write_error;
+    const bool wrote =
+        writeFrame(fd_, encodeRequest(req), &write_error);
+    std::string payload;
+    const FrameStatus st =
+        readFrame(fd_, &payload, max_frame_bytes, error);
+    if (st != FrameStatus::Ok) {
+        if (error) {
+            if (!wrote)
+                *error = write_error;
+            else if (error->empty())
+                *error = "connection closed by server";
+        }
+        return false;
+    }
+    return parseResponse(payload, *resp, error);
+}
+
+} // namespace treegion::service

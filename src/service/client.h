@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Blocking client for the treegion compile service.
+ *
+ * One Client is one connection; call() frames a Request, waits for
+ * the Response, and may be called any number of times (the protocol
+ * is strictly request/response per connection). Not thread-safe —
+ * use one Client per thread, which is also how the throughput bench
+ * models N concurrent clients.
+ */
+
+#ifndef TREEGION_SERVICE_CLIENT_H
+#define TREEGION_SERVICE_CLIENT_H
+
+#include <memory>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace treegion::service {
+
+/** A connected compile-service client. */
+class Client
+{
+  public:
+    /**
+     * Connect to @p address: "unix:<path>", a bare absolute path
+     * (unix socket), or "host:port" (TCP).
+     * @return nullptr and set @p error on failure.
+     */
+    static std::unique_ptr<Client>
+    connect(const std::string &address, std::string *error);
+
+    /** Connect to a Unix-domain socket at @p path. */
+    static std::unique_ptr<Client>
+    connectUnix(const std::string &path, std::string *error);
+
+    /** Connect over TCP. */
+    static std::unique_ptr<Client>
+    connectTcp(const std::string &host, int port, std::string *error);
+
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send @p req and block for the response.
+     * @return false and set @p error on a transport failure (the
+     * server answering "rejected" etc. is still a true return — look
+     * at @p resp->status).
+     */
+    bool call(const Request &req, Response *resp, std::string *error);
+
+    /** Frame size limit applied to responses (server default). */
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_;
+};
+
+} // namespace treegion::service
+
+#endif // TREEGION_SERVICE_CLIENT_H

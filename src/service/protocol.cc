@@ -1,0 +1,325 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/string_utils.h"
+
+namespace treegion::service {
+
+namespace {
+
+constexpr const char *kRequestMagic = "treegion-req/1";
+constexpr const char *kResponseMagic = "treegion-resp/1";
+
+/** Read exactly @p len bytes; false on EOF/error (EINTR retried). */
+bool
+readAll(int fd, char *buf, size_t len)
+{
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::read(fd, buf + got, len - got);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        got += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Write exactly @p len bytes; false on error (EINTR retried).
+ * MSG_NOSIGNAL: a peer that disconnected mid-response must surface
+ * as EPIPE here, not kill an in-process server with SIGPIPE.
+ */
+bool
+writeAll(int fd, const char *buf, size_t len)
+{
+    size_t put = 0;
+    while (put < len) {
+        const ssize_t n =
+            ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        put += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Split a payload into header lines and body at the first blank
+ * line; verifies the magic first line.
+ */
+bool
+splitPayload(const std::string &payload, const char *magic,
+             std::vector<std::pair<std::string, std::string>> *headers,
+             std::string *body, std::string *error)
+{
+    size_t pos = payload.find('\n');
+    if (pos == std::string::npos ||
+        support::trim(payload.substr(0, pos)) != magic) {
+        *error = std::string("expected ") + magic;
+        return false;
+    }
+    ++pos;
+    while (pos < payload.size()) {
+        size_t eol = payload.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = payload.size();
+        const std::string line(
+            support::trim(payload.substr(pos, eol - pos)));
+        pos = eol + 1;
+        if (line.empty()) {
+            // Blank separator: the rest is the body, verbatim.
+            *body = pos <= payload.size() ? payload.substr(pos) : "";
+            return true;
+        }
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            *error = "malformed header line '" + line + "'";
+            return false;
+        }
+        headers->emplace_back(
+            std::string(support::trim(line.substr(0, colon))),
+            std::string(support::trim(line.substr(colon + 1))));
+    }
+    return true;  // headers only, no body
+}
+
+} // namespace
+
+FrameStatus
+readFrame(int fd, std::string *payload, size_t max_bytes,
+          std::string *error, std::string *http_target)
+{
+    unsigned char prefix[4];
+    {
+        // A clean close before the first byte is a normal end of
+        // conversation, not an error.
+        const ssize_t n = ::read(fd, prefix, 1);
+        if (n == 0)
+            return FrameStatus::Closed;
+        if (n < 0) {
+            if (error)
+                *error = std::strerror(errno);
+            return FrameStatus::Error;
+        }
+    }
+    if (!readAll(fd, reinterpret_cast<char *>(prefix) + 1, 3)) {
+        if (error)
+            *error = "truncated frame length";
+        return FrameStatus::Error;
+    }
+
+    if (std::memcmp(prefix, "GET ", 4) == 0) {
+        // HTTP: consume the request line + headers (bounded) and
+        // hand the target back.
+        std::string head = "GET ";
+        char c;
+        while (head.size() < 8192 &&
+               head.find("\r\n\r\n") == std::string::npos &&
+               head.find("\n\n") == std::string::npos) {
+            if (!readAll(fd, &c, 1))
+                break;
+            head.push_back(c);
+        }
+        if (http_target) {
+            size_t end = head.find(' ', 4);
+            if (end == std::string::npos)
+                end = head.find('\n', 4);
+            if (end == std::string::npos)
+                end = head.size();
+            *http_target = head.substr(4, end - 4);
+        }
+        return FrameStatus::Http;
+    }
+
+    const size_t len = (static_cast<size_t>(prefix[0]) << 24) |
+                       (static_cast<size_t>(prefix[1]) << 16) |
+                       (static_cast<size_t>(prefix[2]) << 8) |
+                       static_cast<size_t>(prefix[3]);
+    if (len > max_bytes) {
+        if (error)
+            *error = support::strprintf(
+                "frame of %zu bytes exceeds the %zu-byte limit", len,
+                max_bytes);
+        // Consume the payload (bounded) so the rejection response
+        // can reach a peer that is still writing — closing with
+        // unread data would RST the connection and destroy the
+        // response before the peer reads it.
+        constexpr size_t kMaxDrainBytes = 64u << 20;
+        char sink[4096];
+        size_t left = len < kMaxDrainBytes ? len : kMaxDrainBytes;
+        while (left > 0) {
+            const ssize_t n = ::read(
+                fd, sink, left < sizeof(sink) ? left : sizeof(sink));
+            if (n <= 0 && errno != EINTR)
+                break;
+            if (n > 0)
+                left -= static_cast<size_t>(n);
+        }
+        return FrameStatus::TooLarge;
+    }
+    payload->resize(len);
+    if (len > 0 && !readAll(fd, payload->data(), len)) {
+        if (error)
+            *error = "truncated frame payload";
+        return FrameStatus::Error;
+    }
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload, std::string *error)
+{
+    const size_t len = payload.size();
+    const unsigned char prefix[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    if (!writeAll(fd, reinterpret_cast<const char *>(prefix), 4) ||
+        !writeAll(fd, payload.data(), len)) {
+        if (error)
+            *error = std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+std::string
+Request::configFingerprint() const
+{
+    std::ostringstream os;
+    os << "options{" << options << "} function=" << function
+       << " schedule=" << (want_schedule ? 1 : 0)
+       << " profile=" << (profile ? 1 : 0)
+       << " profile-seed=" << profile_seed
+       << " profile-runs=" << profile_runs;
+    return os.str();
+}
+
+std::string
+encodeRequest(const Request &req)
+{
+    std::ostringstream os;
+    os << kRequestMagic << '\n' << "verb: " << req.verb << '\n';
+    if (!req.options.empty())
+        os << "options: " << req.options << '\n';
+    if (!req.function.empty())
+        os << "function: " << req.function << '\n';
+    if (req.deadline_ms != 0)
+        os << "deadline-ms: " << req.deadline_ms << '\n';
+    if (req.want_schedule)
+        os << "want-schedule: 1\n";
+    if (req.no_cache)
+        os << "no-cache: 1\n";
+    os << "profile: " << (req.profile ? 1 : 0) << '\n'
+       << "profile-seed: " << req.profile_seed << '\n'
+       << "profile-runs: " << req.profile_runs << '\n'
+       << '\n'
+       << req.module_text;
+    return os.str();
+}
+
+bool
+parseRequest(const std::string &payload, Request &out,
+             std::string *error)
+{
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string detail;
+    if (!splitPayload(payload, kRequestMagic, &headers,
+                      &out.module_text, &detail)) {
+        if (error)
+            *error = detail;
+        return false;
+    }
+    for (const auto &[key, value] : headers) {
+        if (key == "verb")
+            out.verb = value;
+        else if (key == "options")
+            out.options = value;
+        else if (key == "function")
+            out.function = value;
+        else if (key == "deadline-ms")
+            out.deadline_ms = std::atoll(value.c_str());
+        else if (key == "want-schedule")
+            out.want_schedule = value != "0";
+        else if (key == "no-cache")
+            out.no_cache = value != "0";
+        else if (key == "profile")
+            out.profile = value != "0";
+        else if (key == "profile-seed")
+            out.profile_seed = std::strtoull(value.c_str(), nullptr, 10);
+        else if (key == "profile-runs")
+            out.profile_runs = std::atoi(value.c_str());
+        // Unknown keys are ignored for forward compatibility.
+    }
+    if (out.verb != "compile" && out.verb != "stats" &&
+        out.verb != "ping") {
+        if (error)
+            *error = "unknown verb '" + out.verb + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+encodeResponse(const Response &resp)
+{
+    std::ostringstream os;
+    os << kResponseMagic << '\n' << "status: " << resp.status << '\n';
+    if (!resp.error.empty())
+        os << "error: " << resp.error << '\n';
+    if (resp.retry_after_ms != 0)
+        os << "retry-after-ms: " << resp.retry_after_ms << '\n';
+    os << "cached: " << (resp.cached ? 1 : 0) << '\n'
+       << support::strprintf("compile-ms: %.3f\n", resp.compile_ms)
+       << '\n'
+       << resp.body;
+    return os.str();
+}
+
+bool
+parseResponse(const std::string &payload, Response &out,
+              std::string *error)
+{
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string detail;
+    if (!splitPayload(payload, kResponseMagic, &headers, &out.body,
+                      &detail)) {
+        if (error)
+            *error = detail;
+        return false;
+    }
+    for (const auto &[key, value] : headers) {
+        if (key == "status")
+            out.status = value;
+        else if (key == "error")
+            out.error = value;
+        else if (key == "retry-after-ms")
+            out.retry_after_ms = std::atoll(value.c_str());
+        else if (key == "cached")
+            out.cached = value != "0";
+        else if (key == "compile-ms")
+            out.compile_ms = std::atof(value.c_str());
+    }
+    return true;
+}
+
+} // namespace treegion::service

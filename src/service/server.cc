@@ -1,0 +1,632 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "sched/pipeline.h"
+#include "sched/schedule_verifier.h"
+#include "support/logging.h"
+#include "support/string_utils.h"
+#include "support/trace.h"
+#include "workloads/profiler.h"
+
+namespace treegion::service {
+
+namespace {
+
+int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Response
+makeError(const char *status, std::string detail)
+{
+    Response resp;
+    resp.status = status;
+    resp.error = std::move(detail);
+    return resp;
+}
+
+/** "requests_<status>" with '-' mapped to '_'. */
+std::string
+statusCounterName(const std::string &status)
+{
+    std::string name = "requests_" + status;
+    std::replace(name.begin(), name.end(), '-', '_');
+    return name;
+}
+
+/**
+ * Compile @p fn under @p options as @p req asks and render the
+ * deterministic result report — the bytes the cache stores. The
+ * input function is never mutated (profile and pipeline both work on
+ * private clones), so verify mode can call this a second time and
+ * demand bit-identical output. Wall time goes to @p compile_ms, NOT
+ * into the body: it differs run to run, the body must not.
+ */
+std::string
+compileBody(const ir::Function &fn, size_t mem_words,
+            const sched::PipelineOptions &options, const Request &req,
+            double *compile_ms)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    ir::Function work = fn.clone();
+    if (req.profile) {
+        workloads::ProfileOptions prof;
+        prof.input_seed = req.profile_seed;
+        prof.runs = req.profile_runs;
+        workloads::profileFunction(work, mem_words, prof);
+    }
+    const sched::ClonedPipelineRun run =
+        sched::runPipelineOnClone(work, options);
+    const auto problems = sched::verifyFunctionSchedule(
+        run.result.schedule, options.model.issue_width);
+
+    if (compile_ms) {
+        *compile_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    }
+
+    std::ostringstream body;
+    body << "function: " << fn.name() << '\n'
+         << "options: " << encodePipelineOptions(options) << '\n'
+         << "regions: " << run.result.schedule.regions.size() << '\n'
+         << support::strprintf("cycles: %.17g\n",
+                               run.result.estimated_time)
+         << support::strprintf("expansion: %.17g\n",
+                               run.result.code_expansion)
+         << "renamed: " << run.result.total_sched_stats.renamed_defs
+         << '\n'
+         << "exit-copies: "
+         << run.result.total_sched_stats.exit_copies << '\n'
+         << "speculated: "
+         << run.result.total_sched_stats.speculated_ops << '\n'
+         << "elided: " << run.result.total_sched_stats.elided_ops
+         << '\n';
+    if (problems.empty()) {
+        body << "verify: ok\n";
+    } else {
+        body << "verify: " << problems.size()
+             << " problems (first: " << problems.front() << ")\n";
+    }
+    if (req.want_schedule) {
+        body << "schedule:\n";
+        for (const auto &[root, rs] : run.result.schedule.regions) {
+            body << "-- region bb" << root << " (" << rs.length
+                 << " cycles)\n"
+                 << rs.str(options.model.issue_width);
+        }
+    }
+    return body.str();
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_bytes)
+{
+}
+
+Server::~Server()
+{
+    if (started_.load()) {
+        requestStop();
+        waitUntilStopped();
+    }
+}
+
+bool
+Server::start(std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why + ": " + std::strerror(errno);
+        if (unix_fd_ >= 0)
+            ::close(unix_fd_);
+        if (tcp_fd_ >= 0)
+            ::close(tcp_fd_);
+        unix_fd_ = tcp_fd_ = -1;
+        return false;
+    };
+
+    TG_ASSERT(!started_.load());
+    if (options_.unix_path.empty() && options_.tcp_port < 0) {
+        if (error)
+            *error = "no listener configured (need a unix path or a "
+                     "tcp port)";
+        return false;
+    }
+
+    if (!options_.unix_path.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+            if (error)
+                *error = "unix socket path too long: " +
+                         options_.unix_path;
+            return false;
+        }
+        std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(options_.unix_path.c_str());
+        unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unix_fd_ < 0)
+            return fail("socket(unix)");
+        if (::bind(unix_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            return fail("bind(" + options_.unix_path + ")");
+        if (::listen(unix_fd_, 64) != 0)
+            return fail("listen(unix)");
+    }
+
+    if (options_.tcp_port >= 0) {
+        tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcp_fd_ < 0)
+            return fail("socket(tcp)");
+        const int one = 1;
+        ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<uint16_t>(options_.tcp_port));
+        if (::inet_pton(AF_INET, options_.tcp_host.c_str(),
+                        &addr.sin_addr) != 1) {
+            if (error)
+                *error = "bad tcp host: " + options_.tcp_host;
+            return fail("inet_pton");
+        }
+        if (::bind(tcp_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            return fail(support::strprintf("bind(port %d)",
+                                           options_.tcp_port));
+        if (::listen(tcp_fd_, 64) != 0)
+            return fail("listen(tcp)");
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(tcp_fd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            tcp_port_ = ntohs(bound.sin_port);
+    }
+
+    if (::pipe(stop_pipe_) != 0)
+        return fail("pipe");
+
+    if (!options_.trace_path.empty())
+        support::TraceCollector::instance().setEnabled(true);
+
+    pool_ = std::make_unique<support::ThreadPool>(options_.threads);
+    started_.store(true);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    // Async-signal-safe by design: one atomic store, one write().
+    stopping_.store(true);
+    if (stop_pipe_[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(stop_pipe_[1], &byte, 1);
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd fds[3];
+        nfds_t nfds = 0;
+        int unix_slot = -1, tcp_slot = -1;
+        if (unix_fd_ >= 0) {
+            unix_slot = static_cast<int>(nfds);
+            fds[nfds++] = {unix_fd_, POLLIN, 0};
+        }
+        if (tcp_fd_ >= 0) {
+            tcp_slot = static_cast<int>(nfds);
+            fds[nfds++] = {tcp_fd_, POLLIN, 0};
+        }
+        fds[nfds++] = {stop_pipe_[0], POLLIN, 0};
+
+        if (::poll(fds, nfds, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[nfds - 1].revents & POLLIN)
+            break;  // stop byte
+
+        for (const int slot : {unix_slot, tcp_slot}) {
+            if (slot < 0 || !(fds[slot].revents & POLLIN))
+                continue;
+            const int listener =
+                slot == unix_slot ? unix_fd_ : tcp_fd_;
+            const int fd = ::accept(listener, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+
+            std::lock_guard<std::mutex> lock(conn_mutex_);
+            // Reap finished connection threads so a long-lived
+            // server doesn't accumulate them.
+            for (auto it = connections_.begin();
+                 it != connections_.end();) {
+                if (it->done.load() && it->thread.joinable()) {
+                    it->thread.join();
+                    it = connections_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (connections_.size() >= options_.max_connections) {
+                metrics_.add("connections_rejected");
+                Response resp = makeError(status::kRejected,
+                                          "too many connections");
+                resp.retry_after_ms = retryAfterHintMs();
+                std::string err;
+                writeFrame(fd, encodeResponse(resp), &err);
+                ::close(fd);
+                continue;
+            }
+            metrics_.add("connections_accepted");
+            connections_.emplace_back();
+            Connection *conn = &connections_.back();
+            conn->fd = fd;
+            conn->thread =
+                std::thread([this, conn] { serveConnection(conn); });
+        }
+    }
+
+    if (unix_fd_ >= 0) {
+        ::close(unix_fd_);
+        ::unlink(options_.unix_path.c_str());
+        unix_fd_ = -1;
+    }
+    if (tcp_fd_ >= 0) {
+        ::close(tcp_fd_);
+        tcp_fd_ = -1;
+    }
+}
+
+void
+Server::serveConnection(Connection *conn)
+{
+    const int fd = conn->fd;
+    for (;;) {
+        std::string payload, detail, http_target;
+        const FrameStatus st =
+            readFrame(fd, &payload, options_.max_frame_bytes, &detail,
+                      &http_target);
+        if (st == FrameStatus::Closed || st == FrameStatus::Error)
+            break;
+
+        if (st == FrameStatus::Http) {
+            // One-shot HTTP: serve /stats JSON and close, so curl
+            // and load-balancer health checks need no client.
+            metrics_.add("http_requests");
+            const bool found =
+                http_target == "/stats" || http_target == "/stats/";
+            const std::string body =
+                found ? statsJson()
+                      : std::string("{\"error\":\"not found\"}");
+            const std::string head = support::strprintf(
+                "HTTP/1.0 %s\r\nContent-Type: application/json\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                found ? "200 OK" : "404 Not Found", body.size());
+            const std::string http = head + body;
+            // Raw HTTP, not a frame; best effort — the connection
+            // closes either way.
+            if (::send(fd, http.data(), http.size(),
+                       MSG_NOSIGNAL) < 0)
+                metrics_.add("http_write_errors");
+            break;
+        }
+
+        if (st == FrameStatus::TooLarge) {
+            // The stream can't be resynchronized after an oversized
+            // length prefix: answer once and drop the connection.
+            metrics_.add("requests_total");
+            metrics_.add("oversized_frames");
+            Response resp = makeError(status::kRejected, detail);
+            metrics_.add(statusCounterName(resp.status));
+            std::string err;
+            writeFrame(fd, encodeResponse(resp), &err);
+            break;
+        }
+
+        Request req;
+        Response resp;
+        if (!parseRequest(payload, req, &detail)) {
+            metrics_.add("requests_total");
+            resp = makeError(status::kError, detail);
+            metrics_.add(statusCounterName(resp.status));
+        } else {
+            resp = handle(req);
+        }
+        std::string err;
+        if (!writeFrame(fd, encodeResponse(resp), &err)) {
+            metrics_.add("response_write_errors");
+            break;
+        }
+    }
+    ::close(fd);
+    // No lock: the entry outlives the thread (reaper and drain only
+    // erase after joining), and done is atomic.
+    conn->done.store(true);
+}
+
+Response
+Server::handle(const Request &req)
+{
+    const int64_t start_ms = nowMs();
+    metrics_.add("requests_total");
+
+    Response resp;
+    if (req.verb == "ping") {
+        resp.body = "pong\n";
+    } else if (req.verb == "stats") {
+        resp.body = statsJson();
+    } else {
+        resp = handleCompile(req);
+    }
+
+    metrics_.add(statusCounterName(resp.status));
+    metrics_.observe("request_ms",
+                     static_cast<double>(nowMs() - start_ms));
+    return resp;
+}
+
+Response
+Server::handleCompile(const Request &req)
+{
+    if (stopping_.load())
+        return makeError(status::kShuttingDown,
+                         "server is draining");
+
+    // Admission control: never let the queue grow past queue_limit —
+    // answer with backpressure and a retry hint instead.
+    size_t admitted = admitted_.load();
+    do {
+        if (admitted >= options_.queue_limit) {
+            metrics_.add("backpressure_rejections");
+            Response resp = makeError(
+                status::kRejected,
+                support::strprintf("queue full (%zu in flight)",
+                                   admitted));
+            resp.retry_after_ms = retryAfterHintMs();
+            return resp;
+        }
+    } while (!admitted_.compare_exchange_weak(admitted, admitted + 1));
+
+    const int64_t enqueue_ms = nowMs();
+    auto future = pool_->submit([this, &req, enqueue_ms] {
+        if (options_.debug_queue_delay_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                options_.debug_queue_delay_ms));
+        }
+        const int64_t waited_ms = nowMs() - enqueue_ms;
+        metrics_.observe("queue_wait_ms",
+                         static_cast<double>(waited_ms));
+
+        Response resp;
+        if (req.deadline_ms > 0 && waited_ms > req.deadline_ms) {
+            // The client's deadline passed while the request sat in
+            // the queue: cancel instead of doing stale work.
+            resp = makeError(
+                status::kDeadline,
+                support::strprintf(
+                    "queued %lld ms past the %lld ms deadline",
+                    static_cast<long long>(waited_ms),
+                    static_cast<long long>(req.deadline_ms)));
+        } else {
+            resp = compileNow(req);
+        }
+        admitted_.fetch_sub(1);
+        return resp;
+    });
+    return future.get();
+}
+
+Response
+Server::compileNow(const Request &req)
+{
+    support::TraceScope span("request", "service");
+
+    std::string parse_error;
+    std::unique_ptr<ir::Module> mod =
+        ir::parseModule(req.module_text, &parse_error);
+    if (!mod)
+        return makeError(status::kError,
+                         "parse error: " + parse_error);
+    if (mod->functions().empty())
+        return makeError(status::kError, "module has no functions");
+
+    ir::Function *fn = nullptr;
+    if (req.function.empty()) {
+        fn = mod->functions().front().get();
+    } else if (mod->hasFunction(req.function)) {
+        fn = &mod->function(req.function);
+    } else {
+        return makeError(status::kError,
+                         "no function named '" + req.function + "'");
+    }
+    span.arg("fn", fn->name());
+
+    sched::PipelineOptions options;
+    std::string options_error;
+    if (!parsePipelineOptions(req.options, options, &options_error))
+        return makeError(status::kError,
+                         "bad options: " + options_error);
+
+    {
+        const auto problems =
+            ir::verifyFunction(*fn, ir::VerifyLevel::Schedulable);
+        if (!problems.empty())
+            return makeError(status::kError,
+                             "verifier: " + problems.front());
+    }
+
+    // Content address: canonical (printed) function text, so
+    // submissions that differ only in formatting share an entry,
+    // plus every request field that shapes the body.
+    const std::string canonical = canonicalFunctionText(*fn);
+    const CacheKey key =
+        makeCacheKey(canonical, req.configFingerprint());
+
+    const bool use_cache = options_.cache_bytes > 0 && !req.no_cache;
+    if (use_cache) {
+        if (std::optional<std::string> hit = cache_.lookup(key)) {
+            Response resp;
+            resp.cached = true;
+            resp.body = std::move(*hit);
+            if (options_.verify_hits) {
+                // Determinism invariant: a cached result must be
+                // bit-identical to a fresh compile of the same
+                // request.
+                double fresh_ms = 0.0;
+                const std::string fresh = compileBody(
+                    *fn, mod->memWords(), options, req, &fresh_ms);
+                if (fresh != resp.body) {
+                    metrics_.add("cache_verify_mismatches");
+                    TG_PANIC("compile cache verify mismatch for key "
+                             "%s (cached %zu bytes, fresh %zu bytes)",
+                             key.str().c_str(), resp.body.size(),
+                             fresh.size());
+                }
+                metrics_.add("cache_verified_hits");
+            }
+            return resp;
+        }
+    }
+
+    Response resp;
+    resp.body = compileBody(*fn, mod->memWords(), options, req,
+                            &resp.compile_ms);
+    metrics_.observe("compile_ms", resp.compile_ms);
+    if (use_cache) {
+        cache_.insert(key, resp.body);
+        const CompileCache::Stats cs = cache_.stats();
+        metrics_.set("cache_bytes", cs.bytes);
+        metrics_.set("cache_entries", cs.entries);
+    }
+    return resp;
+}
+
+int64_t
+Server::retryAfterHintMs() const
+{
+    // Suggest roughly one median request service time, bounded so a
+    // cold histogram still gives a sane hint.
+    const double p50 = metrics_.histogram("request_ms").p50();
+    return std::min<int64_t>(
+        1000, std::max<int64_t>(10, static_cast<int64_t>(p50)));
+}
+
+std::string
+Server::statsJson() const
+{
+    const CompileCache::Stats cs = cache_.stats();
+    std::ostringstream os;
+    os << "{\"metrics\":" << metrics_.toJson() << ",\"cache\":"
+       << support::strprintf(
+              "{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+              "\"evictions\":%llu,\"bytes\":%zu,\"entries\":%zu,"
+              "\"max_bytes\":%zu}",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.insertions),
+              static_cast<unsigned long long>(cs.evictions), cs.bytes,
+              cs.entries, cache_.maxBytes())
+       << ",\"server\":"
+       << support::strprintf(
+              "{\"threads\":%zu,\"queue_limit\":%zu,"
+              "\"max_connections\":%zu,\"max_frame_bytes\":%zu,"
+              "\"draining\":%s}",
+              pool_ ? pool_->numThreads() : options_.threads,
+              options_.queue_limit, options_.max_connections,
+              options_.max_frame_bytes,
+              stopping_.load() ? "true" : "false")
+       << "}";
+    return os.str();
+}
+
+void
+Server::waitUntilStopped()
+{
+    if (joined_.exchange(true))
+        return;
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    // The accept thread is gone, so the connection list is stable
+    // from here on. Unblock threads parked in readFrame; ones busy
+    // compiling finish their response first (SHUT_RD leaves the
+    // write side open). Entries are only destroyed after their
+    // thread is joined.
+    for (Connection &conn : connections_) {
+        if (!conn.done.load())
+            ::shutdown(conn.fd, SHUT_RD);
+    }
+    for (Connection &conn : connections_) {
+        if (conn.thread.joinable())
+            conn.thread.join();
+    }
+    connections_.clear();
+
+    pool_.reset();  // finishes anything still queued
+    flushOnDrain();
+
+    if (stop_pipe_[0] >= 0)
+        ::close(stop_pipe_[0]);
+    if (stop_pipe_[1] >= 0)
+        ::close(stop_pipe_[1]);
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+    started_.store(false);
+}
+
+void
+Server::flushOnDrain()
+{
+    if (!options_.metrics_path.empty()) {
+        if (FILE *f = std::fopen(options_.metrics_path.c_str(), "w")) {
+            const std::string json = statsJson();
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+        } else {
+            TG_INFO("cannot write metrics to %s\n",
+                    options_.metrics_path.c_str());
+        }
+    }
+    if (!options_.trace_path.empty()) {
+        auto &collector = support::TraceCollector::instance();
+        if (!collector.writeChromeTraceFile(options_.trace_path))
+            TG_INFO("cannot write trace to %s\n",
+                    options_.trace_path.c_str());
+        collector.clear();
+    }
+}
+
+} // namespace treegion::service

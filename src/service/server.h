@@ -1,0 +1,187 @@
+/**
+ * @file
+ * treegiond's engine: a persistent compile server.
+ *
+ * One accept thread multiplexes the Unix-domain and TCP listeners
+ * plus a self-pipe (so requestStop() is safe to call from a signal
+ * handler). Each connection gets a thread that reads frames and
+ * answers them; compile work itself is sharded over the shared
+ * support::ThreadPool, so a connection thread is just a parked
+ * future while the pool compiles. Every compilation runs on a
+ * private clone (runPipelineOnClone) — tail-duplicating schemes
+ * mutate the function they compile, so shared state never does.
+ *
+ * Robustness model:
+ *  - admission control: at most queue_limit requests may be admitted
+ *    (queued + compiling) at once; beyond that the server answers
+ *    "rejected" with a retry-after hint instead of growing an
+ *    unbounded queue;
+ *  - per-request deadlines: a request that waited in the queue past
+ *    its deadline-ms is answered "deadline" without compiling —
+ *    stale work is cancelled, not executed;
+ *  - per-connection limits: at most max_connections concurrent
+ *    connections; extra ones get one "rejected" response and are
+ *    closed;
+ *  - graceful drain: requestStop() (SIGTERM) closes the listeners,
+ *    answers "shutting-down" to new requests on live connections,
+ *    finishes everything already admitted, then flushes metrics (a
+ *    JSON snapshot and one Chrome trace per drain).
+ *
+ * Results are content-addressed in a CompileCache; with verify_hits
+ * (default on in debug builds) every hit is recompiled and asserted
+ * bit-identical to the cached bytes, enforcing the determinism
+ * invariant end to end.
+ */
+
+#ifndef TREEGION_SERVICE_SERVER_H
+#define TREEGION_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/protocol.h"
+#include "support/metrics.h"
+#include "support/thread_pool.h"
+
+namespace treegion::service {
+
+/** Everything configurable about a Server. */
+struct ServerOptions
+{
+    /** Unix-domain socket path; empty = no unix listener. */
+    std::string unix_path;
+
+    /** TCP port; -1 = no TCP listener, 0 = pick an ephemeral port. */
+    int tcp_port = -1;
+
+    /** TCP bind address. */
+    std::string tcp_host = "127.0.0.1";
+
+    /** Compile pool workers; 0 = one per hardware thread. */
+    size_t threads = 0;
+
+    /** Max admitted (queued + compiling) compile requests. */
+    size_t queue_limit = 64;
+
+    /** Max concurrent connections. */
+    size_t max_connections = 64;
+
+    /** Frame size limit (oversized requests are rejected). */
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+    /** Compile cache payload budget; 0 disables the cache. */
+    size_t cache_bytes = 64u << 20;
+
+    /** Recompile on every cache hit and assert bit-identity. */
+#ifndef NDEBUG
+    bool verify_hits = true;
+#else
+    bool verify_hits = false;
+#endif
+
+    /** Write the metrics JSON here on drain; empty = don't. */
+    std::string metrics_path;
+
+    /** Write a Chrome trace here on drain; empty = tracing off. */
+    std::string trace_path;
+
+    /**
+     * Test hook: hold every compile request in the queue for this
+     * long before it is considered for execution. Makes deadline and
+     * backpressure behavior deterministic in tests and CI.
+     */
+    int64_t debug_queue_delay_ms = 0;
+};
+
+/** A running compile server (see the file header for the model). */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+
+    /** Drains and stops if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the configured listeners and start accepting.
+     * @return false and set @p error on bind/listen failure.
+     */
+    bool start(std::string *error);
+
+    /**
+     * Begin a graceful drain. Async-signal-safe: just an atomic
+     * store and a pipe write, so SIGTERM handlers may call it.
+     */
+    void requestStop();
+
+    /** Block until the drain completes and every thread is joined. */
+    void waitUntilStopped();
+
+    /** @return the TCP port actually bound (after start). */
+    int tcpPort() const { return tcp_port_; }
+
+    /** @return the live metrics registry. */
+    support::MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * @return the /stats JSON: the metrics registry plus cache and
+     * configuration gauges, one consistent snapshot.
+     */
+    std::string statsJson() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        /** Set by the connection thread as its last action; the
+         * reaper only joins (and erases) done connections. */
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void serveConnection(Connection *conn);
+    Response handle(const Request &req);
+    Response handleCompile(const Request &req);
+
+    /** Compile @p req now (admission already granted). */
+    Response compileNow(const Request &req);
+
+    /** Retry-after hint from the recent request latency. */
+    int64_t retryAfterHintMs() const;
+
+    void flushOnDrain();
+
+    ServerOptions options_;
+    CompileCache cache_;
+    support::MetricsRegistry metrics_;
+    std::unique_ptr<support::ThreadPool> pool_;
+
+    int unix_fd_ = -1;
+    int tcp_fd_ = -1;
+    int tcp_port_ = -1;
+    int stop_pipe_[2] = {-1, -1};
+
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<bool> joined_{false};
+    std::atomic<size_t> admitted_{0};  ///< queued + compiling
+
+    std::mutex conn_mutex_;
+    std::list<Connection> connections_;
+};
+
+} // namespace treegion::service
+
+#endif // TREEGION_SERVICE_SERVER_H

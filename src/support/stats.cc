@@ -1,5 +1,6 @@
 #include "support/stats.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/logging.h"
@@ -37,6 +38,93 @@ double
 Accumulator::max() const
 {
     return count_ == 0 ? 0.0 : max_;
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+size_t
+Histogram::bucketIndex(double value)
+{
+    if (!(value > 0.0))
+        return 0;
+    const double octave = std::log2(value) - kMinExp;
+    if (octave < 0.0)
+        return 0;
+    const auto index =
+        1 + static_cast<size_t>(octave * kSubBuckets);
+    return index >= kNumBuckets ? kNumBuckets - 1 : index;
+}
+
+double
+Histogram::bucketLowerBound(size_t index)
+{
+    return std::exp2(kMinExp + static_cast<double>(index - 1) /
+                                   kSubBuckets);
+}
+
+void
+Histogram::add(double value)
+{
+    ++buckets_[bucketIndex(value)];
+    acc_.add(value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (size_t i = 0; i < kNumBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    acc_.merge(other.acc_);
+}
+
+double
+Histogram::percentile(double pct) const
+{
+    if (acc_.count() == 0)
+        return 0.0;
+    TG_ASSERT(pct >= 0.0 && pct <= 100.0);
+    // Rank of the sample that covers this percentile (1-based,
+    // nearest-rank definition).
+    const double exact = pct / 100.0 * static_cast<double>(acc_.count());
+    uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
+    if (rank == 0)
+        rank = 1;
+
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen < rank)
+            continue;
+        double estimate;
+        if (i == 0) {
+            estimate = acc_.min();
+        } else if (i == kNumBuckets - 1) {
+            estimate = acc_.max();
+        } else {
+            // Geometric midpoint of the bucket's bounds.
+            const double lo = bucketLowerBound(i);
+            const double hi = bucketLowerBound(i + 1);
+            estimate = std::sqrt(lo * hi);
+        }
+        // The true quantile can never leave the observed range.
+        return std::min(std::max(estimate, acc_.min()), acc_.max());
+    }
+    return acc_.max();
 }
 
 void

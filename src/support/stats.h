@@ -6,6 +6,8 @@
 #ifndef TREEGION_SUPPORT_STATS_H
 #define TREEGION_SUPPORT_STATS_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace treegion::support {
@@ -16,6 +18,9 @@ class Accumulator
   public:
     /** Add one sample. */
     void add(double value);
+
+    /** Fold @p other's samples into this accumulator. */
+    void merge(const Accumulator &other);
 
     /** @return number of samples added. */
     uint64_t count() const { return count_; }
@@ -37,6 +42,77 @@ class Accumulator
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+};
+
+/**
+ * Fixed log-bucket histogram with quantile estimates.
+ *
+ * Buckets are geometric: kSubBuckets per power of two, spanning
+ * [2^kMinExp, 2^kMaxExp), plus an underflow bucket (everything <=
+ * 2^kMinExp, including zero and negatives) and an overflow bucket.
+ * The layout is identical for every instance, so histograms merge by
+ * adding bucket counts — per-thread histograms can be combined after
+ * a parallel run with no loss beyond the bucket resolution.
+ *
+ * percentile() interpolates within the winning bucket and clamps to
+ * the observed [min, max], so the relative error of a quantile is
+ * bounded by the bucket ratio 2^(1/kSubBuckets) (about 19%); in
+ * practice, clamping makes small-count histograms exact at the
+ * extremes.
+ */
+class Histogram
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Fold @p other's samples into this histogram. */
+    void merge(const Histogram &other);
+
+    /** @return number of samples added. */
+    uint64_t count() const { return acc_.count(); }
+
+    /** @return sum of samples. */
+    double sum() const { return acc_.sum(); }
+
+    /** @return mean of samples (0 when empty). */
+    double mean() const { return acc_.mean(); }
+
+    /** @return smallest sample (0 when empty). */
+    double min() const { return acc_.min(); }
+
+    /** @return largest sample (0 when empty). */
+    double max() const { return acc_.max(); }
+
+    /**
+     * @return the value at percentile @p pct (0..100), estimated from
+     * the bucket counts; 0 when empty.
+     */
+    double percentile(double pct) const;
+
+    /** Median estimate. */
+    double p50() const { return percentile(50.0); }
+
+    /** 95th-percentile estimate. */
+    double p95() const { return percentile(95.0); }
+
+    /** 99th-percentile estimate. */
+    double p99() const { return percentile(99.0); }
+
+  private:
+    static constexpr int kSubBuckets = 4;  ///< buckets per octave
+    static constexpr int kMinExp = -20;    ///< 2^-20 ~ 1e-6
+    static constexpr int kMaxExp = 44;     ///< 2^44 ~ 1.8e13
+    static constexpr size_t kNumBuckets =
+        static_cast<size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+    static size_t bucketIndex(double value);
+
+    /** Lower bound of bucket @p index (index >= 1). */
+    static double bucketLowerBound(size_t index);
+
+    std::array<uint64_t, kNumBuckets> buckets_{};
+    Accumulator acc_;
 };
 
 /**

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/bitvector.h"
+#include "support/metrics.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/string_utils.h"
@@ -160,6 +163,103 @@ TEST(Accumulator, Basic)
     EXPECT_DOUBLE_EQ(acc.max(), 6.0);
 }
 
+TEST(Accumulator, MergeMatchesSequentialAdds)
+{
+    Accumulator a, b, all;
+    for (const double v : {1.0, 5.0, 9.0}) {
+        a.add(v);
+        all.add(v);
+    }
+    for (const double v : {2.0, 4.0}) {
+        b.add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+
+    // Merging an empty accumulator changes nothing, either way.
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), all.count());
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), all.count());
+    EXPECT_DOUBLE_EQ(empty.min(), all.min());
+}
+
+TEST(Histogram, CountSumMinMax)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    h.add(3.0);
+    h.add(1.0);
+    h.add(2.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Histogram, PercentilesAreBucketAccurate)
+{
+    // Log-bucketed at 4 sub-buckets per octave: each bucket spans
+    // x2^(1/4), so any percentile is within ~19% of the true value
+    // and always clamped to the observed range.
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.2);
+    EXPECT_NEAR(h.p95(), 950.0, 950.0 * 0.2);
+    EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.2);
+    EXPECT_GE(h.percentile(0.0), 1.0);
+    EXPECT_LE(h.percentile(100.0), 1000.0);
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(Histogram, SingleValueHasFlatPercentiles)
+{
+    Histogram h;
+    h.add(42.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+}
+
+TEST(Histogram, ExtremesLandInOverflowBuckets)
+{
+    Histogram h;
+    h.add(0.0);     // below the smallest bucket
+    h.add(1e300);   // above the largest
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1e300);
+    // Percentiles stay clamped to observed values.
+    EXPECT_GE(h.p50(), 0.0);
+    EXPECT_LE(h.p99(), 1e300);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream)
+{
+    Histogram a, b, all;
+    for (int i = 1; i <= 100; ++i) {
+        ((i % 2) ? a : b).add(static_cast<double>(i));
+        all.add(static_cast<double>(i));
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    // Same buckets either way, so identical percentiles.
+    EXPECT_DOUBLE_EQ(a.p50(), all.p50());
+    EXPECT_DOUBLE_EQ(a.p95(), all.p95());
+    EXPECT_DOUBLE_EQ(a.p99(), all.p99());
+}
+
 TEST(GeoMean, Basic)
 {
     GeoMean gm;
@@ -195,6 +295,49 @@ TEST(StringUtils, StartsWith)
 TEST(StringUtils, Strprintf)
 {
     EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(MetricsRegistry, CountersAndHistograms)
+{
+    MetricsRegistry metrics;
+    EXPECT_EQ(metrics.counter("absent"), 0u);
+    metrics.add("requests");
+    metrics.add("requests", 4);
+    metrics.set("gauge", 17);
+    EXPECT_EQ(metrics.counter("requests"), 5u);
+    EXPECT_EQ(metrics.counter("gauge"), 17u);
+
+    metrics.observe("latency_ms", 10.0);
+    metrics.observe("latency_ms", 20.0);
+    EXPECT_EQ(metrics.histogram("latency_ms").count(), 2u);
+    EXPECT_EQ(metrics.histogram("absent").count(), 0u);
+
+    const std::string json = metrics.toJson();
+    EXPECT_NE(json.find("\"requests\":5"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"latency_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+    metrics.clear();
+    EXPECT_EQ(metrics.counter("requests"), 0u);
+    EXPECT_EQ(metrics.histogram("latency_ms").count(), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesDontLoseCounts)
+{
+    MetricsRegistry metrics;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i) {
+                metrics.add("hits");
+                metrics.observe("v", 1.0);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(metrics.counter("hits"), 4000u);
+    EXPECT_EQ(metrics.histogram("v").count(), 4000u);
 }
 
 TEST(Table, AlignsAndCounts)

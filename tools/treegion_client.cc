@@ -1,0 +1,174 @@
+/**
+ * @file
+ * treegion-client — thin client for the treegiond compile service.
+ *
+ * Sends one request per invocation and prints the response: the
+ * serving analogue of running treegionc locally, useful from shell
+ * scripts and CI.
+ *
+ * Usage:
+ *   treegion-client --server ADDR [options] [input.tir | -]
+ *
+ * ADDR is "unix:/path", a bare absolute path, or "host:port".
+ *
+ * Options:
+ *   --options "scheme=tree heuristic=gw width=4 ..."  pipeline
+ *           configuration (encodePipelineOptions format)
+ *   --function NAME        compile this function (default: first)
+ *   --deadline-ms N        give up if queued longer than this
+ *   --print-schedule       ask for the full region schedules
+ *   --no-cache             bypass the server's compile cache
+ *   --no-profile           keep the input file's profile weights
+ *   --profile-seed S / --profile-runs N   training profile
+ *   --ping                 health check (no input needed)
+ *   --stats                fetch the /stats JSON (no input needed)
+ *   --quiet                print only the response body
+ *
+ * Exit codes: 0 ok, 1 error/transport failure, 3 rejected
+ * (backpressure — retry after the hinted delay), 4 deadline
+ * exceeded, 5 server shutting down.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/client.h"
+
+using namespace treegion;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --server ADDR [options] [input.tir | -]\n"
+                 "see the file header or README for options\n",
+                 argv0);
+    return 2;
+}
+
+int
+statusExitCode(const std::string &status)
+{
+    if (status == service::status::kOk)
+        return 0;
+    if (status == service::status::kRejected)
+        return 3;
+    if (status == service::status::kDeadline)
+        return 4;
+    if (status == service::status::kShuttingDown)
+        return 5;
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string server_addr;
+    std::string input;
+    bool quiet = false;
+    service::Request req;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--server") {
+            server_addr = next();
+        } else if (arg == "--options") {
+            req.options = next();
+        } else if (arg == "--function") {
+            req.function = next();
+        } else if (arg == "--deadline-ms") {
+            req.deadline_ms = std::atoll(next());
+        } else if (arg == "--print-schedule") {
+            req.want_schedule = true;
+        } else if (arg == "--no-cache") {
+            req.no_cache = true;
+        } else if (arg == "--no-profile") {
+            req.profile = false;
+        } else if (arg == "--profile-seed") {
+            req.profile_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--profile-runs") {
+            req.profile_runs = std::atoi(next());
+        } else if (arg == "--ping") {
+            req.verb = "ping";
+        } else if (arg == "--stats") {
+            req.verb = "stats";
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (server_addr.empty())
+        return usage(argv[0]);
+    if (req.verb == "compile") {
+        if (input.empty())
+            return usage(argv[0]);
+        if (input == "-") {
+            std::ostringstream buffer;
+            buffer << std::cin.rdbuf();
+            req.module_text = buffer.str();
+        } else {
+            std::ifstream file(input);
+            if (!file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             input.c_str());
+                return 1;
+            }
+            std::ostringstream buffer;
+            buffer << file.rdbuf();
+            req.module_text = buffer.str();
+        }
+    }
+
+    std::string error;
+    auto client = service::Client::connect(server_addr, &error);
+    if (!client) {
+        std::fprintf(stderr, "connect: %s\n", error.c_str());
+        return 1;
+    }
+
+    service::Response resp;
+    if (!client->call(req, &resp, &error)) {
+        std::fprintf(stderr, "call: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (!quiet) {
+        std::fprintf(stderr, "status: %s%s%s\n", resp.status.c_str(),
+                     resp.cached ? " (cached)" : "",
+                     resp.error.empty()
+                         ? ""
+                         : ("  [" + resp.error + "]").c_str());
+        if (resp.retry_after_ms > 0)
+            std::fprintf(stderr, "retry-after-ms: %lld\n",
+                         static_cast<long long>(resp.retry_after_ms));
+        if (resp.compile_ms > 0)
+            std::fprintf(stderr, "compile-ms: %.3f\n",
+                         resp.compile_ms);
+    }
+    std::fputs(resp.body.c_str(), stdout);
+    return statusExitCode(resp.status);
+}

@@ -31,8 +31,19 @@
  *
  * Batch results are printed in deterministic input order — function
  * order x configuration order — whatever the thread count.
+ *
+ * Remote compilation against a running treegiond:
+ *   --server ADDR        compile on the server instead of locally
+ *                        (ADDR: "unix:/path", an absolute socket
+ *                        path, or "host:port")
+ *   --no-cache           ask the server to bypass its compile cache
+ * The pipeline options above are encoded and shipped with the
+ * module; the server replies with the same stats (plus schedules
+ * under --print-schedule), served from its content-addressed cache
+ * when possible.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,6 +57,7 @@
 #include "region/graphviz.h"
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
+#include "service/client.h"
 #include "support/trace.h"
 #include "vliw/equivalence.h"
 #include "workloads/profiler.h"
@@ -71,7 +83,54 @@ struct CliOptions
     bool all_functions = false;
     bool sweep = false;
     std::string trace_json;
+    std::string server;
+    bool no_cache = false;
 };
+
+/**
+ * Ship the module to a treegiond instead of compiling locally. The
+ * server performs the same profile + pipeline + verify sequence, so
+ * the printed stats match a local run of the same configuration.
+ */
+int
+runOnServer(const CliOptions &cli, const std::string &source)
+{
+    service::Request req;
+    req.options = sched::encodePipelineOptions(cli.pipeline);
+    req.want_schedule = cli.print_schedule;
+    req.no_cache = cli.no_cache;
+    req.profile = cli.do_profile;
+    req.profile_seed = cli.profile_seed;
+    req.profile_runs = cli.profile_runs;
+    req.module_text = source;
+
+    std::string error;
+    auto client = service::Client::connect(cli.server, &error);
+    if (!client) {
+        std::fprintf(stderr, "connect %s: %s\n", cli.server.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    service::Response resp;
+    if (!client->call(req, &resp, &error)) {
+        std::fprintf(stderr, "server call failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    if (resp.status != service::status::kOk) {
+        std::fprintf(stderr, "server: %s%s%s\n", resp.status.c_str(),
+                     resp.error.empty() ? "" : ": ",
+                     resp.error.c_str());
+        if (resp.retry_after_ms > 0)
+            std::fprintf(stderr, "server: retry after %lld ms\n",
+                         static_cast<long long>(resp.retry_after_ms));
+        return 1;
+    }
+    std::fprintf(stderr, "server: ok%s, compile %.2f ms\n",
+                 resp.cached ? " (cached)" : "", resp.compile_ms);
+    std::fputs(resp.body.c_str(), stdout);
+    return 0;
+}
 
 int
 usage(const char *argv0)
@@ -81,42 +140,6 @@ usage(const char *argv0)
                  "see the file header or README for options\n",
                  argv0);
     return 2;
-}
-
-bool
-parseScheme(const std::string &name, sched::RegionScheme &out)
-{
-    if (name == "bb")
-        out = sched::RegionScheme::BasicBlock;
-    else if (name == "slr")
-        out = sched::RegionScheme::Slr;
-    else if (name == "sb")
-        out = sched::RegionScheme::Superblock;
-    else if (name == "tree")
-        out = sched::RegionScheme::Treegion;
-    else if (name == "tree-td")
-        out = sched::RegionScheme::TreegionTailDup;
-    else if (name == "hyper")
-        out = sched::RegionScheme::Hyperblock;
-    else
-        return false;
-    return true;
-}
-
-bool
-parseHeuristic(const std::string &name, sched::Heuristic &out)
-{
-    if (name == "h" || name == "dep-height")
-        out = sched::Heuristic::DependenceHeight;
-    else if (name == "ec" || name == "exit-count")
-        out = sched::Heuristic::ExitCount;
-    else if (name == "gw" || name == "global-weight")
-        out = sched::Heuristic::GlobalWeight;
-    else if (name == "wc" || name == "weighted-count")
-        out = sched::Heuristic::WeightedCount;
-    else
-        return false;
-    return true;
 }
 
 /** The scheme x heuristic grid the paper's evaluation sweeps. */
@@ -158,13 +181,12 @@ sweepConfigs(const sched::PipelineOptions &base)
 int
 runBatch(const std::vector<ir::Function *> &fns, const CliOptions &cli)
 {
-    // Per-function baselines for the speedup column (on clones so
-    // the batch functions stay pristine for compilation).
+    // Per-function baselines for the speedup column
+    // (estimateBaselineTime is const-safe, so the batch functions
+    // stay pristine for compilation).
     std::vector<double> baselines;
-    for (const ir::Function *fn : fns) {
-        ir::Function clone = fn->clone();
-        baselines.push_back(sched::estimateBaselineTime(clone));
-    }
+    for (const ir::Function *fn : fns)
+        baselines.push_back(sched::estimateBaselineTime(*fn));
 
     const std::vector<sched::PipelineOptions> configs =
         cli.sweep ? sweepConfigs(cli.pipeline)
@@ -211,12 +233,14 @@ runBatch(const std::vector<ir::Function *> &fns, const CliOptions &cli)
                     problems.empty() ? "" : "  [VERIFY FAILED]");
         if (cli.stats) {
             std::printf("    expansion %.2fx; renamed %zu, copies "
-                        "%zu, speculated %zu, elided %zu\n",
+                        "%zu, speculated %zu, elided %zu; compile "
+                        "%.2f ms\n",
                         jr.result.code_expansion,
                         jr.result.total_sched_stats.renamed_defs,
                         jr.result.total_sched_stats.exit_copies,
                         jr.result.total_sched_stats.speculated_ops,
-                        jr.result.total_sched_stats.elided_ops);
+                        jr.result.total_sched_stats.elided_ops,
+                        jr.compile_ms);
         }
     }
     return failures;
@@ -241,10 +265,12 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--scheme") {
-            if (!parseScheme(next(), cli.pipeline.scheme))
+            if (!sched::parseRegionScheme(next(),
+                                          cli.pipeline.scheme))
                 return usage(argv[0]);
         } else if (arg == "--heuristic") {
-            if (!parseHeuristic(next(), cli.pipeline.sched.heuristic))
+            if (!sched::parseHeuristicName(
+                    next(), cli.pipeline.sched.heuristic))
                 return usage(argv[0]);
         } else if (arg == "--width") {
             cli.pipeline.model = sched::MachineModel::custom(
@@ -289,6 +315,10 @@ main(int argc, char **argv)
             cli.sweep = true;
         } else if (arg == "--trace-json") {
             cli.trace_json = next();
+        } else if (arg == "--server") {
+            cli.server = next();
+        } else if (arg == "--no-cache") {
+            cli.no_cache = true;
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -323,6 +353,10 @@ main(int argc, char **argv)
         buffer << file.rdbuf();
         source = buffer.str();
     }
+    // ---- Remote mode: the server does the rest.
+    if (!cli.server.empty())
+        return runOnServer(cli, source);
+
     std::string error;
     std::unique_ptr<ir::Module> mod;
     {
@@ -393,7 +427,12 @@ main(int argc, char **argv)
 
     ir::Function original = fn.clone();
     const double baseline = sched::estimateBaselineTime(fn);
+    const auto compile_start = std::chrono::steady_clock::now();
     const auto result = sched::runPipeline(fn, cli.pipeline);
+    const double compile_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - compile_start)
+            .count();
     const auto sched_problems = sched::verifyFunctionSchedule(
         result.schedule, cli.pipeline.model.issue_width);
     for (const auto &p : sched_problems)
@@ -414,7 +453,7 @@ main(int argc, char **argv)
                      "regions: %zu (avg %.2f blocks, max %zu, avg "
                      "%.2f ops); code expansion %.2fx; renamed %zu "
                      "defs, %zu exit copies, %zu speculated, %zu "
-                     "elided\n",
+                     "elided; compile %.2f ms\n",
                      result.region_stats.num_regions,
                      result.region_stats.avg_blocks,
                      result.region_stats.max_blocks,
@@ -423,7 +462,8 @@ main(int argc, char **argv)
                      result.total_sched_stats.renamed_defs,
                      result.total_sched_stats.exit_copies,
                      result.total_sched_stats.speculated_ops,
-                     result.total_sched_stats.elided_ops);
+                     result.total_sched_stats.elided_ops,
+                     compile_ms);
     }
     if (cli.print_dot)
         region::writeDot(std::cout, fn, result.regions,

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * treegiond — the treegion compile daemon.
+ *
+ * A persistent compile server: clients submit .tir modules plus a
+ * pipeline configuration over a Unix-domain or TCP socket and get
+ * back schedules, statistics and estimated times. Results are
+ * content-addressed in an LRU cache; the queue is bounded with
+ * backpressure; SIGTERM/SIGINT drain gracefully (finish in-flight
+ * work, refuse new, flush metrics). See src/service/ and DESIGN.md
+ * §9 for the protocol and the robustness model.
+ *
+ * Usage:
+ *   treegiond [--unix PATH] [--tcp PORT] [options]
+ *
+ * Options:
+ *   --unix PATH            listen on a Unix-domain socket
+ *   --tcp PORT             listen on 127.0.0.1:PORT (0 = ephemeral;
+ *                          the bound port is printed to stdout)
+ *   --host ADDR            TCP bind address (default 127.0.0.1)
+ *   --threads N            compile workers (default: all cores)
+ *   --queue-limit N        max in-flight compile requests (default 64)
+ *   --max-connections N    max concurrent connections (default 64)
+ *   --cache-mb N           compile cache budget in MiB (default 64;
+ *                          0 disables caching)
+ *   --max-request-kb N     request frame limit in KiB (default 4096)
+ *   --verify-hits 0|1      recompile every cache hit and assert
+ *                          bit-identity (default: 1 in debug builds)
+ *   --metrics-json FILE    write the /stats JSON here on drain
+ *   --trace-json FILE      enable tracing; write one Chrome trace
+ *                          per drain here
+ *   --debug-queue-delay-ms N  test hook: hold each request in the
+ *                          queue this long (deadline/backpressure
+ *                          demos and CI)
+ *
+ * Observability: send a "stats" request over the protocol, or plain
+ * HTTP — `curl --unix-socket PATH http://treegiond/stats` or
+ * `curl http://127.0.0.1:PORT/stats` — against the same listeners.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.h"
+
+using namespace treegion;
+
+namespace {
+
+service::Server *g_server = nullptr;
+
+void
+handleSignal(int)
+{
+    // requestStop is async-signal-safe (atomic store + pipe write).
+    if (g_server)
+        g_server->requestStop();
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--unix PATH] [--tcp PORT] [options]\n"
+                 "see the file header or README for options\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServerOptions options;
+    options.threads = 0;  // all cores
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix") {
+            options.unix_path = next();
+        } else if (arg == "--tcp") {
+            options.tcp_port = std::atoi(next());
+        } else if (arg == "--host") {
+            options.tcp_host = next();
+        } else if (arg == "--threads") {
+            options.threads =
+                static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--queue-limit") {
+            options.queue_limit =
+                static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--max-connections") {
+            options.max_connections =
+                static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--cache-mb") {
+            options.cache_bytes =
+                static_cast<size_t>(std::atoll(next())) << 20;
+        } else if (arg == "--max-request-kb") {
+            options.max_frame_bytes =
+                static_cast<size_t>(std::atoll(next())) << 10;
+        } else if (arg == "--verify-hits") {
+            options.verify_hits = std::atoi(next()) != 0;
+        } else if (arg == "--metrics-json") {
+            options.metrics_path = next();
+        } else if (arg == "--trace-json") {
+            options.trace_path = next();
+        } else if (arg == "--debug-queue-delay-ms") {
+            options.debug_queue_delay_ms = std::atoll(next());
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (options.unix_path.empty() && options.tcp_port < 0)
+        return usage(argv[0]);
+
+    service::Server server(std::move(options));
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "treegiond: %s\n", error.c_str());
+        return 1;
+    }
+
+    g_server = &server;
+    std::signal(SIGTERM, handleSignal);
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (server.tcpPort() >= 0) {
+        // Scripts read this to find an ephemeral port.
+        std::printf("port %d\n", server.tcpPort());
+        std::fflush(stdout);
+    }
+    std::fprintf(stderr, "treegiond: serving (SIGTERM drains)\n");
+
+    server.waitUntilStopped();
+    g_server = nullptr;
+    std::fprintf(stderr, "treegiond: drained cleanly\n");
+    return 0;
+}
