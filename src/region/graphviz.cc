@@ -43,10 +43,17 @@ writeDot(std::ostream &os, ir::Function &fn, const RegionSet &set,
         os << "    style=filled;\n    color=\""
            << kColors[i % (sizeof(kColors) / sizeof(kColors[0]))]
            << "\";\n";
+        // A heavy border makes the region (treegion) boundary legible
+        // even when the fill colors of adjacent clusters are close.
+        os << "    penwidth=2.5;\n";
         os << "    label=\"" << regionKindName(r.kind()) << " "
-           << i << "\";\n";
+           << i << " (root bb" << r.root() << ")\";\n";
         for (const ir::BlockId id : r.blocks()) {
+            const bool dup = fn.block(id).originalId() != id;
             os << "    bb" << id << " [label=\"bb" << id;
+            if (dup)
+                os << " (dup of bb" << fn.block(id).originalId()
+                   << ")";
             if (options.show_weights) {
                 os << strprintf(" (w=%.6g)",
                                 fn.block(id).weight());
@@ -56,7 +63,14 @@ writeDot(std::ostream &os, ir::Function &fn, const RegionSet &set,
                     os << "\\l" << escape(op.str());
                 os << "\\l";
             }
-            os << "\"];\n";
+            os << '"';
+            if (dup) {
+                // Tail-duplicated clones stand out from the original
+                // members of every region.
+                os << ", style=\"filled,dashed\","
+                      " fillcolor=\"#ffe9a8\"";
+            }
+            os << "];\n";
         }
         os << "  }\n";
     }

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "support/logging.h"
+#include "support/remarks.h"
 
 namespace treegion::region {
 
@@ -31,10 +34,21 @@ absorbIntoTree(ir::Function &fn, const RegionSet &set, Region &tree,
         candidates.pop_front();
         if (tree.contains(node))
             continue;
-        if (fn.isMergePoint(node) || set.covered(node))
+        if (fn.isMergePoint(node) || set.covered(node)) {
+            support::remark(support::RemarkKind::GrowthStopped)
+                .block(node)
+                .arg("root", tree.root())
+                .arg("from", parent)
+                .arg("reason", fn.isMergePoint(node) ? "merge-point"
+                                                     : "claimed");
             continue;
+        }
 
         tree.addBlock(node, parent);
+        support::remark(support::RemarkKind::BlockAccepted)
+            .block(node)
+            .arg("root", tree.root())
+            .arg("parent", parent);
         const auto succs = fn.block(node).successors();
         for (auto it = succs.rbegin(); it != succs.rend(); ++it) {
             if (*it != kNoBlock && !tree.contains(*it))
@@ -91,11 +105,33 @@ void
 expandWithTailDuplication(ir::Function &fn, const RegionSet &set,
                           Region &tree, const TailDupLimits &limits)
 {
+    // The selection loop re-scans every exit edge after each
+    // duplication, so a refused edge would re-refuse once per round;
+    // dedupe on (from, sapling, reason) to report each refusal once.
+    std::set<std::tuple<BlockId, BlockId, const char *>> refused;
+    auto freshRefusal = [&](BlockId from, BlockId sapling,
+                            const char *why) {
+        return support::remarksEnabled() &&
+               refused.emplace(from, sapling, why).second;
+    };
+
     for (;;) {
-        if (tree.pathCount() > limits.path_limit)
+        if (tree.pathCount() > limits.path_limit) {
+            support::remark(support::RemarkKind::TailDupStopped)
+                .block(tree.root())
+                .arg("reason", "path-limit")
+                .arg("paths", tree.pathCount())
+                .arg("cap", limits.path_limit);
             break;
-        if (tree.size() >= limits.max_region_blocks)
+        }
+        if (tree.size() >= limits.max_region_blocks) {
+            support::remark(support::RemarkKind::TailDupStopped)
+                .block(tree.root())
+                .arg("reason", "max-blocks")
+                .arg("blocks", tree.size())
+                .arg("cap", limits.max_region_blocks);
             break;
+        }
 
         // Select the first qualifying exit edge (Fig. 11's "for each
         // sapling ... use this sapling", generalized to edges because
@@ -118,13 +154,35 @@ expandWithTailDuplication(ir::Function &fn, const RegionSet &set,
             const BlockId sapling = exit.target;
             if (set.covered(sapling) || tree.contains(sapling))
                 continue;
-            if (repeatsAlongPath(fn, tree, exit.from, sapling))
+            if (repeatsAlongPath(fn, tree, exit.from, sapling)) {
+                if (freshRefusal(exit.from, sapling,
+                                 "repeats-along-path")) {
+                    support::remark(
+                        support::RemarkKind::TailDupRefused)
+                        .block(sapling)
+                        .arg("root", tree.root())
+                        .arg("from", exit.from)
+                        .arg("reason", "repeats-along-path");
+                }
                 continue;
+            }
             const size_t merge_count = fn.predsOf(sapling).size();
             const bool is_function_exit =
                 fn.block(sapling).successors().empty();
-            if (merge_count > limits.merge_limit && !is_function_exit)
+            if (merge_count > limits.merge_limit &&
+                !is_function_exit) {
+                if (freshRefusal(exit.from, sapling, "merge-limit")) {
+                    support::remark(
+                        support::RemarkKind::TailDupRefused)
+                        .block(sapling)
+                        .arg("root", tree.root())
+                        .arg("from", exit.from)
+                        .arg("reason", "merge-limit")
+                        .arg("preds", merge_count)
+                        .arg("cap", limits.merge_limit);
+                }
                 continue;
+            }
             // Conservative code-expansion pre-check ("might be
             // exceeded"): absorbing one copy of the sapling must keep
             // the region's op count within the limit relative to its
@@ -143,6 +201,18 @@ expandWithTailDuplication(ir::Function &fn, const RegionSet &set,
                 originalMemberOps(fn, tree) + base_gain);
             if (orig_ops <= 0.0 ||
                 cur_ops > limits.expansion_limit * orig_ops) {
+                if (freshRefusal(exit.from, sapling,
+                                 "expansion-limit")) {
+                    support::remark(
+                        support::RemarkKind::TailDupRefused)
+                        .block(sapling)
+                        .arg("root", tree.root())
+                        .arg("from", exit.from)
+                        .arg("reason", "expansion-limit")
+                        .arg("ops", cur_ops)
+                        .arg("base", orig_ops)
+                        .arg("cap", limits.expansion_limit);
+                }
                 continue;
             }
             selected = sapling;
@@ -150,11 +220,20 @@ expandWithTailDuplication(ir::Function &fn, const RegionSet &set,
             slot = exit.target_slot;
             break;
         }
-        if (selected == kNoBlock)
+        if (selected == kNoBlock) {
+            support::remark(support::RemarkKind::TailDupStopped)
+                .block(tree.root())
+                .arg("reason", "no-candidate");
             break;
+        }
 
         if (fn.isMergePoint(selected)) {
             const BlockId clone = tailDuplicateEdge(fn, from, slot);
+            support::remark(support::RemarkKind::TailDuplicated)
+                .block(selected)
+                .arg("root", tree.root())
+                .arg("from", from)
+                .arg("clone", clone);
             absorbIntoTree(fn, set, tree, clone, from);
             // The original may have lost its last predecessor.
             if (fn.predsOf(selected).empty())
@@ -180,6 +259,13 @@ treeformImpl(ir::Function &fn, const TailDupLimits *limits)
         }
         if (limits)
             expandWithTailDuplication(fn, set, tree, *limits);
+        if (support::remarksEnabled()) {
+            support::remark(support::RemarkKind::RegionFormed)
+                .block(root)
+                .arg("blocks", tree.size())
+                .arg("paths", tree.pathCount())
+                .arg("ops", tree.totalOps(fn));
+        }
         for (const BlockId sapling : tree.saplings(fn)) {
             if (!set.covered(sapling))
                 unprocessed.push_back(sapling);

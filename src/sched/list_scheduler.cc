@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <memory>
 
+#include <map>
+#include <set>
+
 #include "sched/ddg.h"
 #include "sched/hyperblock_lowering.h"
 #include "support/logging.h"
+#include "support/remarks.h"
 #include "support/trace.h"
 
 namespace treegion::sched {
@@ -149,6 +153,54 @@ class Scheduler
         state_[i].scheduled = true;
         state_[i].elided = true;
         state_[i].rep = twin;
+        support::remark(support::RemarkKind::Elided)
+            .block(lowered_.ops[i].home)
+            .op(lowered_.ops[i].op.id)
+            .arg("twin", lowered_.ops[twin].op.id)
+            .arg("root", lowered_.root);
+    }
+
+    /**
+     * Report priority ties: adjacent pairs of the sorted order whose
+     * keys are equal under @p heuristic, i.e. decided only by the
+     * deterministic lowering-order fallback.
+     */
+    void
+    reportTieBreaks(const std::vector<size_t> &order,
+                    const std::vector<PriorityKeys> &keys,
+                    Heuristic heuristic) const
+    {
+        auto tied = [&](const PriorityKeys &a, const PriorityKeys &b) {
+            switch (heuristic) {
+              case Heuristic::DependenceHeight:
+                return a.height == b.height;
+              case Heuristic::ExitCount:
+                return a.exit_count == b.exit_count &&
+                       a.height == b.height;
+              case Heuristic::GlobalWeight:
+                return a.weight == b.weight && a.height == b.height;
+              case Heuristic::WeightedCount:
+                return a.weight == b.weight &&
+                       a.exit_count == b.exit_count &&
+                       a.height == b.height;
+            }
+            return false;
+        };
+        for (size_t k = 0; k + 1 < order.size(); ++k) {
+            const size_t w = order[k], l = order[k + 1];
+            if (!tied(keys[w], keys[l]))
+                continue;
+            support::remark(support::RemarkKind::TieBreak)
+                .block(lowered_.ops[w].home)
+                .op(lowered_.ops[w].op.id)
+                .arg("loser", lowered_.ops[l].op.id)
+                .arg("height", keys[w].height)
+                .arg("exits", keys[w].exit_count)
+                .arg("weight", keys[w].weight)
+                .arg("loser_height", keys[l].height)
+                .arg("loser_exits", keys[l].exit_count)
+                .arg("loser_weight", keys[l].weight);
+        }
     }
 
     static constexpr size_t npos = static_cast<size_t>(-1);
@@ -167,6 +219,8 @@ Scheduler::run()
     const size_t n = lowered_.ops.size();
     const auto keys = computePriorityKeys(fn_, lowered_, ddg_);
     auto order = sortByPriority(keys, options_.heuristic);
+    if (support::remarksEnabled())
+        reportTieBreaks(order, keys, options_.heuristic);
 
     // Retire-as-soon-as-possible rule: a ready exit branch fires at
     // its earliest legal cycle (its dependences - predicate, pinned
@@ -251,8 +305,15 @@ Scheduler::run()
                               LoweredKind::Computation &&
                           !lowered_.ops[i].op.guard &&
                           lowered_.ops[i].home != lowered_.root;
-        if (sop.speculative)
+        if (sop.speculative) {
             ++sched.stats.speculated_ops;
+            support::remark(support::RemarkKind::Speculated)
+                .block(sop.home)
+                .op(sop.op.id)
+                .arg("root", lowered_.root)
+                .arg("cycle", sop.cycle)
+                .arg("slot", sop.slot);
+        }
         lowered_to_out[i] = sched.ops.size();
         sched.ops.push_back(std::move(sop));
         sched.length = std::max(sched.length, state_[i].cycle + 1);
@@ -271,6 +332,22 @@ Scheduler::run()
         se.copies = exit.copies;
         sched.stats.exit_copies += exit.copies.size();
         sched.exits.push_back(std::move(se));
+    }
+    if (support::remarksEnabled()) {
+        // Distinct exit branch ops sharing a cycle: the predicated
+        // branches the paper merges into one MultiOp.
+        std::map<int, std::set<size_t>> branches_at;
+        for (const LoweredExit &exit : lowered_.exits)
+            branches_at[state_[exit.op_index].cycle].insert(
+                exit.op_index);
+        for (const auto &[exit_cycle, branches] : branches_at) {
+            if (branches.size() > 1) {
+                support::remark(support::RemarkKind::ExitMerged)
+                    .block(lowered_.root)
+                    .arg("cycle", exit_cycle)
+                    .arg("branches", branches.size());
+            }
+        }
     }
     return sched;
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "support/logging.h"
+#include "support/remarks.h"
 
 namespace treegion::sched {
 
@@ -66,7 +67,7 @@ class Lowerer
 
     /** Rename every destination of @p op to a fresh register. */
     void
-    renameDests(Op &op, RenameMap &map)
+    renameDests(Op &op, RenameMap &map, BlockId home)
     {
         for (Reg &dst : op.dsts) {
             Reg fresh;
@@ -80,6 +81,15 @@ class Lowerer
               case ir::RegClass::Btr:
                 fresh = fn_.freshBtr();
                 break;
+            }
+            if (support::remarksEnabled()) {
+                // op.id is still the original op's id here; emit()
+                // assigns the lowered clone a fresh one later.
+                support::remark(support::RemarkKind::Renamed)
+                    .block(home)
+                    .op(op.id)
+                    .arg("from", dst.str())
+                    .arg("to", fresh.str());
             }
             map[dst] = fresh;
             dst = fresh;
@@ -268,7 +278,7 @@ class Lowerer
             }
             Op op = orig;
             applyRenames(op, map);
-            renameDests(op, map);
+            renameDests(op, map, id);
             const bool pinned = op.isStore();
             if (pinned)
                 op.guard = blockPred(id, conds);

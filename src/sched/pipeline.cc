@@ -159,6 +159,9 @@ runPipeline(ir::Function &fn, const PipelineOptions &options)
     using support::TraceCollector;
     using support::TraceScope;
 
+    if (auto *remarks = support::currentRemarkStream())
+        remarks->setFunction(fn.name());
+
     PipelineResult result;
     const size_t original_ops = fn.totalOps();
 
@@ -262,10 +265,16 @@ runOneJob(const PipelineJob &job)
     support::TraceScope span("job", "driver");
     span.arg("label",
              job.label.empty() ? job.fn->name() : job.label);
+    // The stream is installed only around this job's pipeline run on
+    // this worker thread, so every emitted remark belongs to exactly
+    // this job whatever the pool interleaving.
+    support::RemarkStream remarks;
+    support::RemarkScope scope(job.collect_remarks ? &remarks
+                                                   : nullptr);
     ClonedPipelineRun run = runPipelineOnClone(*job.fn, job.options);
-    return PipelineJobResult{std::move(run.fn),
-                             std::move(run.result), job.label,
-                             run.compile_ms};
+    return PipelineJobResult{std::move(run.fn), std::move(run.result),
+                             job.label, run.compile_ms,
+                             std::move(remarks)};
 }
 
 } // namespace

@@ -25,6 +25,7 @@
 #include "sched/list_scheduler.h"
 #include "sched/machine_model.h"
 #include "sched/perf_model.h"
+#include "support/remarks.h"
 #include "support/thread_pool.h"
 
 namespace treegion::sched {
@@ -135,6 +136,8 @@ struct PipelineJob
     const ir::Function *fn = nullptr;  ///< profiled input function
     PipelineOptions options;
     std::string label;  ///< trace/report label, e.g. "gcc/tree/gw"
+    /** Collect decision remarks for this job (support/remarks.h). */
+    bool collect_remarks = false;
 };
 
 /** Outcome of one PipelineJob. */
@@ -145,6 +148,10 @@ struct PipelineJobResult
     PipelineResult result;
     std::string label;        ///< copied from the job
     double compile_ms = 0.0;  ///< wall time of this job's pipeline run
+    /** Decision remarks, when the job asked for them. The stream is
+     * private to the job, so its order is deterministic and identical
+     * for any worker count. */
+    support::RemarkStream remarks;
 };
 
 /**

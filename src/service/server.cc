@@ -20,6 +20,7 @@
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
 #include "support/logging.h"
+#include "support/remarks.h"
 #include "support/string_utils.h"
 #include "support/trace.h"
 #include "workloads/profiler.h"
@@ -522,8 +523,17 @@ Server::compileNow(const Request &req)
     }
 
     Response resp;
-    resp.body = compileBody(*fn, mod->memWords(), options, req,
-                            &resp.compile_ms);
+    {
+        // Decision-mix telemetry for /stats: collect this compile's
+        // remarks and fold them into the per-kind counters. Miss path
+        // only — the verify_hits recompile above must not count the
+        // same decisions twice.
+        support::RemarkStream remarks;
+        support::RemarkScope scope(&remarks);
+        resp.body = compileBody(*fn, mod->memWords(), options, req,
+                                &resp.compile_ms);
+        remarks.foldInto(metrics_);
+    }
     metrics_.observe("compile_ms", resp.compile_ms);
     if (use_cache) {
         cache_.insert(key, resp.body);

@@ -67,12 +67,7 @@ MetricsRegistry::toJson() const
     first = true;
     for (const auto &[name, h] : histograms_) {
         os << (first ? "" : ",") << '"' << jsonEscape(name) << "\":"
-           << strprintf("{\"count\":%llu,\"mean\":%.6g,\"min\":%.6g,"
-                        "\"max\":%.6g,\"p50\":%.6g,\"p95\":%.6g,"
-                        "\"p99\":%.6g}",
-                        static_cast<unsigned long long>(h.count()),
-                        h.mean(), h.min(), h.max(), h.p50(), h.p95(),
-                        h.p99());
+           << h.toJson();
         first = false;
     }
     os << "}}";

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "support/string_utils.h"
 
 namespace treegion::support {
 
@@ -125,6 +126,16 @@ Histogram::percentile(double pct) const
         return std::min(std::max(estimate, acc_.min()), acc_.max());
     }
     return acc_.max();
+}
+
+std::string
+Histogram::toJson() const
+{
+    return strprintf("{\"count\":%llu,\"mean\":%.6g,\"min\":%.6g,"
+                     "\"max\":%.6g,\"p50\":%.6g,\"p95\":%.6g,"
+                     "\"p99\":%.6g}",
+                     static_cast<unsigned long long>(count()), mean(),
+                     min(), max(), p50(), p95(), p99());
 }
 
 void

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace treegion::support {
 
@@ -98,6 +99,14 @@ class Histogram
 
     /** 99th-percentile estimate. */
     double p99() const { return percentile(99.0); }
+
+    /**
+     * @return one JSON object with the full summary —
+     * {"count":..,"mean":..,"min":..,"max":..,"p50":..,"p95":..,
+     * "p99":..} — so dashboards get the sample count and range, not
+     * just the quantiles.
+     */
+    std::string toJson() const;
 
   private:
     static constexpr int kSubBuckets = 4;  ///< buckets per octave

@@ -12,6 +12,8 @@
 #include <sstream>
 #include <vector>
 
+#include "ir/parser.h"
+#include "ir/printer.h"
 #include "sched/pipeline.h"
 #include "workloads/profiler.h"
 #include "workloads/spec_proxy.h"
@@ -181,6 +183,80 @@ TEST_F(ParallelPipelineTest, EmptyBatchIsFine)
 {
     const auto results = runPipelineParallel({}, 4);
     EXPECT_TRUE(results.empty());
+}
+
+TEST_F(ParallelPipelineTest, RemarkStreamsAreBitIdenticalAcrossThreads)
+{
+    std::vector<PipelineJob> jobs = jobs_;
+    for (PipelineJob &job : jobs)
+        job.collect_remarks = true;
+
+    const auto sequential = runPipelineParallel(jobs, 1);
+    size_t total = 0;
+    for (const auto &jr : sequential)
+        total += jr.remarks.size();
+    ASSERT_GT(total, 0u) << "collect_remarks produced nothing";
+
+    for (const size_t threads : {2u, 8u}) {
+        const auto parallel = runPipelineParallel(jobs, threads);
+        ASSERT_EQ(parallel.size(), sequential.size());
+        for (size_t i = 0; i < parallel.size(); ++i) {
+            EXPECT_EQ(parallel[i].remarks.toJsonLines(),
+                      sequential[i].remarks.toJsonLines())
+                << "job " << jobs[i].label << " threads=" << threads;
+        }
+    }
+}
+
+TEST_F(ParallelPipelineTest, RemarksOffByDefault)
+{
+    for (const auto &jr : runPipelineParallel(jobs_, 2))
+        EXPECT_EQ(jr.remarks.size(), 0u) << jr.label;
+}
+
+TEST_F(ParallelPipelineTest, RemarksSurvivePrintParseRoundTrip)
+{
+    // Remark streams must survive a textual round trip of the input:
+    // printing a module (weights included) and parsing it back yields
+    // the same decisions, remark for remark. Printing renumbers op
+    // ids into file order and rounds weights to %.6g, so normalize
+    // each module through one print/parse cycle first — from that
+    // fixpoint on, the text form is stable.
+    auto textCycle = [](const ir::Module &mod) {
+        std::ostringstream os;
+        ir::printModule(os, mod);
+        std::string error;
+        auto back = ir::parseModule(os.str(), &error);
+        EXPECT_NE(back, nullptr) << error;
+        return back;
+    };
+    std::vector<std::unique_ptr<ir::Module>> normalized, reparsed;
+    for (const auto &mod : modules_) {
+        normalized.push_back(textCycle(*mod));
+        ASSERT_NE(normalized.back(), nullptr);
+        reparsed.push_back(textCycle(*normalized.back()));
+        ASSERT_NE(reparsed.back(), nullptr);
+    }
+
+    std::vector<PipelineJob> jobs = jobs_, jobs2 = jobs_;
+    const size_t per_module = jobs.size() / modules_.size();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].collect_remarks = true;
+        jobs[i].fn = &normalized[i / per_module]->function("main");
+        jobs2[i].collect_remarks = true;
+        jobs2[i].fn = &reparsed[i / per_module]->function("main");
+    }
+    const auto original = runPipelineParallel(jobs, 2);
+    const auto round_tripped = runPipelineParallel(jobs2, 2);
+    ASSERT_EQ(original.size(), round_tripped.size());
+    size_t total = 0;
+    for (size_t i = 0; i < original.size(); ++i) {
+        total += original[i].remarks.size();
+        EXPECT_EQ(original[i].remarks.toJsonLines(),
+                  round_tripped[i].remarks.toJsonLines())
+            << "job " << jobs[i].label;
+    }
+    EXPECT_GT(total, 0u);
 }
 
 } // namespace

@@ -242,6 +242,24 @@ TEST(Histogram, ExtremesLandInOverflowBuckets)
     EXPECT_LE(h.p99(), 1e300);
 }
 
+TEST(Histogram, ToJsonCarriesCountAndExtremes)
+{
+    Histogram h;
+    h.add(1.0);
+    h.add(2.0);
+    h.add(3.0);
+    const std::string json = h.toJson();
+    EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"mean\":2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"min\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"max\":3"), std::string::npos) << json;
+    for (const char *key : {"\"p50\":", "\"p95\":", "\"p99\":"})
+        EXPECT_NE(json.find(key), std::string::npos) << json;
+
+    const Histogram empty;
+    EXPECT_NE(empty.toJson().find("\"count\":0"), std::string::npos);
+}
+
 TEST(Histogram, MergeMatchesCombinedStream)
 {
     Histogram a, b, all;

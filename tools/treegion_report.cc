@@ -1,0 +1,569 @@
+/**
+ * @file
+ * treegion-report — render and compare the compiler's decisions.
+ *
+ * Three modes:
+ *
+ *  1. Timeline (default): compile a module (a .tir file, or the
+ *     eight SPECint95 proxies with --proxies), print per-region
+ *     cycle x slot schedule grids — home-block colored, speculated
+ *     ops marked '*' — and optionally write the same view as a
+ *     standalone HTML page (--html FILE) plus the collected decision
+ *     remarks as JSON lines (--remarks FILE).
+ *
+ *  2. --check FILE: validate a remarks JSONL file against the schema
+ *     (support/remarks.h); exit 1 with "line N: why" on the first
+ *     violation. This is the CI schema gate.
+ *
+ *  3. --diff A B: compare two remark streams decision by decision
+ *     (per-function multiset difference of canonical lines) and
+ *     print what diverged — e.g. heuristic gw vs h, or -j1 vs -j8.
+ *
+ * Usage:
+ *   treegion-report [--scheme S] [--heuristic H] [--width N]
+ *                   [--html FILE] [--remarks FILE] [--color]
+ *                   <input.tir | --proxies>
+ *   treegion-report --check remarks.jsonl
+ *   treegion-report --diff a.jsonl b.jsonl [--limit N]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <unistd.h>
+#include <vector>
+
+#include "ir/parser.h"
+#include "sched/pipeline.h"
+#include "support/remarks.h"
+#include "support/string_utils.h"
+#include "support/trace.h"
+#include "workloads/profiler.h"
+#include "workloads/spec_proxy.h"
+
+using namespace treegion;
+
+namespace {
+
+struct CliOptions
+{
+    std::string input;
+    bool proxies = false;
+    sched::PipelineOptions pipeline;
+    std::string html_path;
+    std::string remarks_path;
+    bool force_color = false;
+    std::string check_path;
+    std::string diff_a, diff_b;
+    size_t diff_limit = 50;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options] <input.tir | --proxies>\n"
+                 "       %s --check remarks.jsonl\n"
+                 "       %s --diff a.jsonl b.jsonl [--limit N]\n"
+                 "see the file header or README for options\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+bool
+readLines(const std::string &path, std::vector<std::string> &out,
+          std::string *error)
+{
+    std::ifstream file(path);
+    if (!file) {
+        *error = "cannot open " + path;
+        return false;
+    }
+    std::string line;
+    while (std::getline(file, line)) {
+        if (!line.empty())
+            out.push_back(line);
+    }
+    return true;
+}
+
+// ---- --check -------------------------------------------------------
+
+int
+runCheck(const std::string &path)
+{
+    std::vector<std::string> lines;
+    std::string error;
+    if (!readLines(path, lines, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+    for (size_t i = 0; i < lines.size(); ++i) {
+        support::Remark remark;
+        if (!support::parseRemarkJson(lines[i], remark, &error)) {
+            std::fprintf(stderr, "%s: line %zu: %s\n", path.c_str(),
+                         i + 1, error.c_str());
+            return 1;
+        }
+    }
+    std::printf("%s: %zu remarks, all schema-valid\n", path.c_str(),
+                lines.size());
+    return 0;
+}
+
+// ---- --diff --------------------------------------------------------
+
+/** Canonical (re-serialized) lines per function, in input order. */
+std::map<std::string, std::vector<std::string>>
+groupByFunction(const std::vector<std::string> &lines,
+                const std::string &path, bool *ok)
+{
+    std::map<std::string, std::vector<std::string>> grouped;
+    std::string error;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        support::Remark remark;
+        if (!support::parseRemarkJson(lines[i], remark, &error)) {
+            std::fprintf(stderr, "%s: line %zu: %s\n", path.c_str(),
+                         i + 1, error.c_str());
+            *ok = false;
+            return grouped;
+        }
+        grouped[remark.function].push_back(remark.toJson());
+    }
+    return grouped;
+}
+
+/** Multiset difference a - b, preserving a's order. */
+std::vector<std::string>
+multisetMinus(const std::vector<std::string> &a,
+              const std::vector<std::string> &b)
+{
+    std::map<std::string, size_t> counts;
+    for (const std::string &line : b)
+        ++counts[line];
+    std::vector<std::string> out;
+    for (const std::string &line : a) {
+        auto it = counts.find(line);
+        if (it != counts.end() && it->second > 0)
+            --it->second;
+        else
+            out.push_back(line);
+    }
+    return out;
+}
+
+int
+runDiff(const CliOptions &cli)
+{
+    std::vector<std::string> lines_a, lines_b;
+    std::string error;
+    if (!readLines(cli.diff_a, lines_a, &error) ||
+        !readLines(cli.diff_b, lines_b, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+    bool ok = true;
+    const auto by_fn_a = groupByFunction(lines_a, cli.diff_a, &ok);
+    const auto by_fn_b = groupByFunction(lines_b, cli.diff_b, &ok);
+    if (!ok)
+        return 2;
+
+    std::vector<std::string> functions;
+    for (const auto &[fn, _] : by_fn_a)
+        functions.push_back(fn);
+    for (const auto &[fn, _] : by_fn_b) {
+        if (!by_fn_a.count(fn))
+            functions.push_back(fn);
+    }
+
+    static const std::vector<std::string> kEmpty;
+    size_t diverging = 0, printed = 0;
+    for (const std::string &fn : functions) {
+        const auto it_a = by_fn_a.find(fn);
+        const auto it_b = by_fn_b.find(fn);
+        const auto &a = it_a == by_fn_a.end() ? kEmpty : it_a->second;
+        const auto &b = it_b == by_fn_b.end() ? kEmpty : it_b->second;
+        const auto only_a = multisetMinus(a, b);
+        const auto only_b = multisetMinus(b, a);
+        if (only_a.empty() && only_b.empty())
+            continue;
+        diverging += only_a.size() + only_b.size();
+        std::printf("== %s (-%zu +%zu)\n", fn.c_str(), only_a.size(),
+                    only_b.size());
+        for (const auto &line : only_a) {
+            if (printed++ < cli.diff_limit)
+                std::printf("- %s\n", line.c_str());
+        }
+        for (const auto &line : only_b) {
+            if (printed++ < cli.diff_limit)
+                std::printf("+ %s\n", line.c_str());
+        }
+    }
+    if (printed > cli.diff_limit) {
+        std::printf("... %zu more (raise with --limit)\n",
+                    printed - cli.diff_limit);
+    }
+    std::printf("%zu diverging decisions (%s: %zu remarks, %s: %zu "
+                "remarks)\n",
+                diverging, cli.diff_a.c_str(), lines_a.size(),
+                cli.diff_b.c_str(), lines_b.size());
+    return 0;
+}
+
+// ---- timeline ------------------------------------------------------
+
+/** One compiled function plus its decision remarks. */
+struct ReportUnit
+{
+    std::string name;  ///< display name, e.g. "gcc/main"
+    sched::PipelineJobResult result;
+};
+
+/** Qualitative palette shared by the ANSI and HTML renderings. */
+const char *kHtmlColors[] = {"#cfe8ff", "#ffe3c2", "#d8f2d0",
+                             "#f3d1f0", "#fff3b0", "#d9d7f1",
+                             "#ffd4d4", "#ccf2f0"};
+const int kAnsiColors[] = {36, 33, 32, 35, 93, 34, 31, 96};
+constexpr size_t kNumColors =
+    sizeof(kAnsiColors) / sizeof(kAnsiColors[0]);
+
+std::string
+cellText(const sched::ScheduledOp &sop)
+{
+    std::string text = (sop.speculative ? "*" : "") + sop.op.str();
+    if (text.size() > 22)
+        text = text.substr(0, 21) + "…";
+    return text;
+}
+
+/** Region roots in deterministic (ascending id) order. */
+std::vector<ir::BlockId>
+sortedRoots(const sched::FunctionSchedule &schedule)
+{
+    std::vector<ir::BlockId> roots;
+    for (const auto &[root, _] : schedule.regions)
+        roots.push_back(root);
+    std::sort(roots.begin(), roots.end());
+    return roots;
+}
+
+void
+printAsciiTimeline(const ReportUnit &unit, int issue_width, bool color)
+{
+    const auto &schedule = unit.result.result.schedule;
+    std::printf("=== %s: %zu regions, estimate %.0f cycles\n",
+                unit.name.c_str(), schedule.regions.size(),
+                unit.result.result.estimated_time);
+    for (const ir::BlockId root : sortedRoots(schedule)) {
+        const sched::RegionSchedule &rs = schedule.regions.at(root);
+        std::printf("-- region bb%u (%d cycles, %zu ops, %zu exits)\n",
+                    root, rs.length, rs.ops.size(), rs.exits.size());
+        // Grid of cells, indexed [cycle][slot].
+        std::vector<std::vector<const sched::ScheduledOp *>> grid(
+            static_cast<size_t>(rs.length),
+            std::vector<const sched::ScheduledOp *>(
+                static_cast<size_t>(issue_width), nullptr));
+        for (const sched::ScheduledOp &sop : rs.ops) {
+            if (sop.cycle >= 0 && sop.cycle < rs.length &&
+                sop.slot >= 0 && sop.slot < issue_width)
+                grid[sop.cycle][sop.slot] = &sop;
+        }
+        for (int cyc = 0; cyc < rs.length; ++cyc) {
+            std::printf("%4d: ", cyc);
+            for (int slot = 0; slot < issue_width; ++slot) {
+                const sched::ScheduledOp *sop = grid[cyc][slot];
+                if (!sop) {
+                    std::printf("| %-24s", "");
+                    continue;
+                }
+                const std::string text = cellText(*sop);
+                if (color) {
+                    std::printf(
+                        "| \x1b[%dm%-24s\x1b[0m",
+                        kAnsiColors[sop->home % kNumColors],
+                        text.c_str());
+                } else {
+                    std::printf("| %-24s", text.c_str());
+                }
+            }
+            std::printf("|\n");
+        }
+    }
+    if (unit.result.remarks.size() > 0) {
+        std::map<std::string, size_t> by_kind;
+        for (const support::Remark &r : unit.result.remarks.remarks())
+            ++by_kind[support::remarkKindName(r.kind)];
+        std::printf("remarks:");
+        for (const auto &[kind, count] : by_kind)
+            std::printf(" %s=%zu", kind.c_str(), count);
+        std::printf("\n");
+    }
+}
+
+std::string
+htmlEscape(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeHtmlTimeline(std::ostream &os,
+                  const std::vector<ReportUnit> &units, int issue_width)
+{
+    os << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+          "<title>treegion schedule report</title>\n<style>\n"
+          "body { font-family: monospace; margin: 1.5em; }\n"
+          "table { border-collapse: collapse; margin: 0.5em 0 1.5em; }\n"
+          "td, th { border: 1px solid #999; padding: 2px 6px;"
+          " white-space: nowrap; }\n"
+          "td.spec { font-style: italic; border: 2px solid #c00; }\n"
+          "td.empty { background: #f4f4f4; }\n"
+          ".legend span { padding: 1px 8px; margin-right: 6px;"
+          " border: 1px solid #999; }\n"
+          "</style></head><body>\n"
+          "<h1>treegion schedule report</h1>\n"
+          "<p>Cells are colored by <b>home block</b>; a red-bordered "
+          "italic cell is an op <b>speculated</b> above a branch of "
+          "its home path.</p>\n";
+    for (const ReportUnit &unit : units) {
+        const auto &schedule = unit.result.result.schedule;
+        os << "<h2>" << htmlEscape(unit.name) << "</h2>\n"
+           << "<p>" << schedule.regions.size()
+           << " regions, estimated "
+           << support::strprintf(
+                  "%.0f", unit.result.result.estimated_time)
+           << " cycles</p>\n";
+        for (const ir::BlockId root : sortedRoots(schedule)) {
+            const sched::RegionSchedule &rs =
+                schedule.regions.at(root);
+            // Legend: home blocks in first-use order.
+            std::vector<ir::BlockId> homes;
+            for (const sched::ScheduledOp &sop : rs.ops) {
+                if (std::find(homes.begin(), homes.end(), sop.home) ==
+                    homes.end())
+                    homes.push_back(sop.home);
+            }
+            os << "<h3>region bb" << root << " (" << rs.length
+               << " cycles)</h3>\n<p class=\"legend\">";
+            for (const ir::BlockId home : homes) {
+                os << "<span style=\"background:"
+                   << kHtmlColors[home % kNumColors] << "\">bb"
+                   << home << "</span>";
+            }
+            os << "</p>\n<table>\n<tr><th>cycle</th>";
+            for (int slot = 0; slot < issue_width; ++slot)
+                os << "<th>slot " << slot << "</th>";
+            os << "</tr>\n";
+            std::vector<std::vector<const sched::ScheduledOp *>> grid(
+                static_cast<size_t>(rs.length),
+                std::vector<const sched::ScheduledOp *>(
+                    static_cast<size_t>(issue_width), nullptr));
+            for (const sched::ScheduledOp &sop : rs.ops) {
+                if (sop.cycle >= 0 && sop.cycle < rs.length &&
+                    sop.slot >= 0 && sop.slot < issue_width)
+                    grid[sop.cycle][sop.slot] = &sop;
+            }
+            for (int cyc = 0; cyc < rs.length; ++cyc) {
+                os << "<tr><th>" << cyc << "</th>";
+                for (int slot = 0; slot < issue_width; ++slot) {
+                    const sched::ScheduledOp *sop = grid[cyc][slot];
+                    if (!sop) {
+                        os << "<td class=\"empty\"></td>";
+                        continue;
+                    }
+                    os << "<td"
+                       << (sop->speculative ? " class=\"spec\"" : "")
+                       << " style=\"background:"
+                       << kHtmlColors[sop->home % kNumColors]
+                       << "\" title=\"home bb" << sop->home << "\">"
+                       << htmlEscape(sop->op.str()) << "</td>";
+                }
+                os << "</tr>\n";
+            }
+            os << "</table>\n";
+        }
+        if (unit.result.remarks.size() > 0) {
+            std::map<std::string, size_t> by_kind;
+            for (const support::Remark &r :
+                 unit.result.remarks.remarks())
+                ++by_kind[support::remarkKindName(r.kind)];
+            os << "<p>remarks:";
+            for (const auto &[kind, count] : by_kind)
+                os << " " << kind << "=" << count;
+            os << "</p>\n";
+        }
+    }
+    os << "</body></html>\n";
+}
+
+int
+runTimeline(const CliOptions &cli)
+{
+    // Assemble the modules to compile: one parsed file, or the eight
+    // SPEC proxies.
+    std::vector<std::pair<std::string, std::unique_ptr<ir::Module>>>
+        modules;
+    if (cli.proxies) {
+        for (const auto &spec : workloads::specint95Proxies())
+            modules.emplace_back(spec.name,
+                                 workloads::buildProxy(spec));
+    } else {
+        std::ifstream file(cli.input);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         cli.input.c_str());
+            return 2;
+        }
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        std::string error;
+        auto mod = ir::parseModule(buffer.str(), &error);
+        if (!mod) {
+            std::fprintf(stderr, "parse error: %s\n", error.c_str());
+            return 2;
+        }
+        modules.emplace_back(mod->name(), std::move(mod));
+    }
+
+    std::vector<ReportUnit> units;
+    std::string remarks_jsonl;
+    for (auto &[mod_name, mod] : modules) {
+        for (const auto &fn_ptr : mod->functions()) {
+            ir::Function &fn = *fn_ptr;
+            workloads::profileFunction(fn, mod->memWords());
+            sched::PipelineJob job;
+            job.fn = &fn;
+            job.options = cli.pipeline;
+            job.collect_remarks = true;
+            auto results = sched::runPipelineParallel({job}, 1);
+
+            ReportUnit unit{mod_name + "/" + fn.name(),
+                            std::move(results.front())};
+            // Proxy functions are all called "main": qualify the
+            // remark function stamp with the module name so streams
+            // from different proxies stay distinguishable in a diff.
+            support::RemarkStream qualified;
+            qualified.setFunction(unit.name);
+            for (support::Remark r : unit.result.remarks.remarks()) {
+                r.function = unit.name;
+                qualified.emit(std::move(r));
+            }
+            unit.result.remarks = std::move(qualified);
+            remarks_jsonl += unit.result.remarks.toJsonLines();
+            units.push_back(std::move(unit));
+        }
+    }
+
+    const int width = cli.pipeline.model.issue_width;
+    const bool color = cli.force_color || isatty(STDOUT_FILENO);
+    for (const ReportUnit &unit : units)
+        printAsciiTimeline(unit, width, color);
+
+    if (!cli.html_path.empty()) {
+        std::ofstream out(cli.html_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         cli.html_path.c_str());
+            return 1;
+        }
+        writeHtmlTimeline(out, units, width);
+        std::fprintf(stderr, "HTML report written to %s\n",
+                     cli.html_path.c_str());
+    }
+    if (!cli.remarks_path.empty()) {
+        if (cli.remarks_path == "-") {
+            std::fputs(remarks_jsonl.c_str(), stdout);
+        } else {
+            std::ofstream out(cli.remarks_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             cli.remarks_path.c_str());
+                return 1;
+            }
+            out << remarks_jsonl;
+            std::fprintf(stderr, "remarks written to %s\n",
+                         cli.remarks_path.c_str());
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.pipeline.scheme = sched::RegionScheme::TreegionTailDup;
+    cli.pipeline.model = sched::MachineModel::wide4U();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scheme") {
+            if (!sched::parseRegionScheme(next(),
+                                          cli.pipeline.scheme))
+                return usage(argv[0]);
+        } else if (arg == "--heuristic") {
+            if (!sched::parseHeuristicName(
+                    next(), cli.pipeline.sched.heuristic))
+                return usage(argv[0]);
+        } else if (arg == "--width") {
+            cli.pipeline.model =
+                sched::MachineModel::custom(std::atoi(next()));
+        } else if (arg == "--proxies") {
+            cli.proxies = true;
+        } else if (arg == "--html") {
+            cli.html_path = next();
+        } else if (arg == "--remarks") {
+            cli.remarks_path = next();
+        } else if (arg == "--color") {
+            cli.force_color = true;
+        } else if (arg == "--check") {
+            cli.check_path = next();
+        } else if (arg == "--diff") {
+            cli.diff_a = next();
+            cli.diff_b = next();
+        } else if (arg == "--limit") {
+            cli.diff_limit =
+                static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else if (cli.input.empty()) {
+            cli.input = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (!cli.check_path.empty())
+        return runCheck(cli.check_path);
+    if (!cli.diff_a.empty())
+        return runDiff(cli);
+    if (cli.input.empty() && !cli.proxies)
+        return usage(argv[0]);
+    return runTimeline(cli);
+}

@@ -21,6 +21,9 @@
  *   --print-dot                       dot graph of CFG + regions
  *   --run SEED                        simulate on a seeded input
  *   --stats                           region + scheduling statistics
+ *   --remarks FILE                    write decision remarks as JSON
+ *                                     lines ("-" = stdout); works in
+ *                                     single and batch mode
  *
  * Batch compilation (sharded over a work-stealing thread pool):
  *   -j N | --jobs N      worker threads (default 1; 0 = all cores)
@@ -58,6 +61,7 @@
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
 #include "service/client.h"
+#include "support/remarks.h"
 #include "support/trace.h"
 #include "vliw/equivalence.h"
 #include "workloads/profiler.h"
@@ -83,9 +87,28 @@ struct CliOptions
     bool all_functions = false;
     bool sweep = false;
     std::string trace_json;
+    std::string remarks_path;
     std::string server;
     bool no_cache = false;
 };
+
+/** Write @p jsonl to @p path ("-" = stdout). @return false on error. */
+bool
+writeRemarks(const std::string &path, const std::string &jsonl)
+{
+    if (path == "-") {
+        std::fputs(jsonl.c_str(), stdout);
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write remarks to %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << jsonl;
+    return true;
+}
 
 /**
  * Ship the module to a treegiond instead of compiling locally. The
@@ -201,6 +224,7 @@ runBatch(const std::vector<ir::Function *> &fns, const CliOptions &cli)
             job.label = fn->name() + "/" +
                         sched::regionSchemeName(config.scheme) + "/" +
                         sched::heuristicName(config.sched.heuristic);
+            job.collect_remarks = !cli.remarks_path.empty();
             batch.push_back(std::move(job));
         }
     }
@@ -242,6 +266,19 @@ runBatch(const std::vector<ir::Function *> &fns, const CliOptions &cli)
                         jr.result.total_sched_stats.elided_ops,
                         jr.compile_ms);
         }
+    }
+
+    if (!cli.remarks_path.empty()) {
+        // Per-job streams concatenated in input order: bit-identical
+        // for any -j.
+        std::string jsonl;
+        for (const auto &jr : results)
+            jsonl += jr.remarks.toJsonLines();
+        if (!writeRemarks(cli.remarks_path, jsonl))
+            ++failures;
+        else if (cli.remarks_path != "-")
+            std::fprintf(stderr, "remarks written to %s\n",
+                         cli.remarks_path.c_str());
     }
     return failures;
 }
@@ -315,6 +352,8 @@ main(int argc, char **argv)
             cli.sweep = true;
         } else if (arg == "--trace-json") {
             cli.trace_json = next();
+        } else if (arg == "--remarks") {
+            cli.remarks_path = next();
         } else if (arg == "--server") {
             cli.server = next();
         } else if (arg == "--no-cache") {
@@ -428,11 +467,25 @@ main(int argc, char **argv)
     ir::Function original = fn.clone();
     const double baseline = sched::estimateBaselineTime(fn);
     const auto compile_start = std::chrono::steady_clock::now();
-    const auto result = sched::runPipeline(fn, cli.pipeline);
+    // The scope covers only the main compilation, not the baseline
+    // estimate above, so the stream describes this run alone.
+    support::RemarkStream remarks;
+    const auto result = [&] {
+        support::RemarkScope scope(
+            cli.remarks_path.empty() ? nullptr : &remarks);
+        return sched::runPipeline(fn, cli.pipeline);
+    }();
     const double compile_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - compile_start)
             .count();
+    if (!cli.remarks_path.empty()) {
+        if (!writeRemarks(cli.remarks_path, remarks.toJsonLines()))
+            return finish(1);
+        if (cli.remarks_path != "-")
+            std::fprintf(stderr, "%zu remarks written to %s\n",
+                         remarks.size(), cli.remarks_path.c_str());
+    }
     const auto sched_problems = sched::verifyFunctionSchedule(
         result.schedule, cli.pipeline.model.issue_width);
     for (const auto &p : sched_problems)
