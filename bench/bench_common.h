@@ -9,6 +9,7 @@
 #ifndef TREEGION_BENCH_BENCH_COMMON_H
 #define TREEGION_BENCH_BENCH_COMMON_H
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -22,6 +23,26 @@
 
 namespace treegion::bench {
 
+/**
+ * The benches' RNG seed. Fixed (42) so every bench workload is
+ * reproducible run-to-run — in particular across the before/after
+ * halves of a perf measurement — and overridable via the
+ * TG_BENCH_SEED environment variable for sensitivity studies.
+ */
+inline uint64_t
+benchSeed()
+{
+    if (const char *env = std::getenv("TG_BENCH_SEED")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0')
+            return v;
+        std::cerr << "warning: ignoring malformed TG_BENCH_SEED '"
+                  << env << "'\n";
+    }
+    return 42;
+}
+
 /** One profiled proxy benchmark ready for experiments. */
 struct Workload
 {
@@ -34,7 +55,7 @@ struct Workload
 
 /** Build and profile all eight proxies with the training inputs. */
 inline std::vector<Workload>
-loadWorkloads(uint64_t input_seed = 42)
+loadWorkloads(uint64_t input_seed = benchSeed())
 {
     std::vector<Workload> workloads;
     for (const auto &spec : workloads::specint95Proxies()) {

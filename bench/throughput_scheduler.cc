@@ -1,106 +1,202 @@
 /**
  * @file
- * Compile-time cost of the compiler itself (google-benchmark):
- * region formation and scheduling throughput per scheme on the gcc
- * proxy, plus the end-to-end pipeline.
+ * Single-thread compile-throughput bench over the SPECint95 proxies:
+ * the perf anchor for the scheduling hot path (arena/SoA refactor,
+ * ROADMAP item 3).
+ *
+ * Each configuration (scheme x width) repeatedly compiles all eight
+ * profiled proxies on one thread until --min-time elapses and reports
+ * compiles/s and input-ops/s. `--json FILE` emits one machine-readable
+ * entry in the schema pinned by tests/support_test.cc; entries are
+ * appended by hand to BENCH_scheduler.json so the perf trajectory of
+ * the repo stays visible across PRs, and CI's perf-smoke job diffs a
+ * fresh run against the last committed entry.
+ *
+ * Usage:
+ *   throughput_scheduler [--min-time S] [--label STR] [--json FILE]
+ *
+ * The workload is seeded by TG_BENCH_SEED (default 42, see
+ * bench_common.h), so before/after numbers are measured on identical
+ * programs.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "analysis/liveness.h"
-#include "region/formation.h"
-#include "sched/pipeline.h"
-#include "workloads/profiler.h"
-#include "workloads/spec_proxy.h"
+#include "bench_common.h"
+#include "support/string_utils.h"
 
 namespace {
 
 using namespace treegion;
 
-/** The profiled gcc proxy, built once. */
-ir::Function &
-gccProxy()
+/** One benchmarked pipeline configuration. */
+struct BenchConfig
 {
-    static std::unique_ptr<ir::Module> mod = [] {
-        const auto proxies = workloads::specint95Proxies();
-        auto m = workloads::buildProxy(proxies[1]);
-        workloads::profileFunction(m->function("main"),
-                                   proxies[1].params.mem_words);
-        return m;
-    }();
-    return mod->function("main");
+    const char *name;  ///< stable display/JSON name, e.g. "tree/4U"
+    sched::RegionScheme scheme;
+    int width;
+};
+
+/** The fixed configuration list; names are part of the JSON schema. */
+const BenchConfig kConfigs[] = {
+    {"bb/4U", sched::RegionScheme::BasicBlock, 4},
+    {"slr/4U", sched::RegionScheme::Slr, 4},
+    {"sb/4U", sched::RegionScheme::Superblock, 4},
+    {"tree/1U", sched::RegionScheme::Treegion, 1},
+    {"tree/4U", sched::RegionScheme::Treegion, 4},
+    {"tree/8U", sched::RegionScheme::Treegion, 8},
+    {"tree-td/4U", sched::RegionScheme::TreegionTailDup, 4},
+    {"hyper/4U", sched::RegionScheme::Hyperblock, 4},
+};
+
+/** Measured result of one configuration. */
+struct ConfigResult
+{
+    const BenchConfig *config = nullptr;
+    size_t sweeps = 0;    ///< full passes over all workloads
+    size_t compiles = 0;  ///< functions compiled
+    double wall_s = 0.0;
+    double compiles_per_s = 0.0;
+    double ops_per_s = 0.0;  ///< input (pre-formation) ops per second
+};
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration<double>(clock::now() - epoch).count();
 }
 
-void
-BM_FormTreegions(benchmark::State &state)
+ConfigResult
+runConfig(std::vector<bench::Workload> &workloads,
+          const BenchConfig &config, size_t ops_per_sweep,
+          double min_time_s)
 {
-    for (auto _ : state) {
-        ir::Function fn = gccProxy().clone();
-        benchmark::DoNotOptimize(region::formTreegions(fn));
+    const sched::PipelineOptions options =
+        bench::makeOptions(config.scheme, config.width);
+
+    ConfigResult r;
+    r.config = &config;
+    const double start = nowSeconds();
+    do {
+        for (bench::Workload &w : workloads) {
+            auto run = sched::runPipelineOnClone(w.fn(), options);
+            // Keep the optimizer honest: consume the estimate.
+            if (run.result.estimated_time < 0.0)
+                std::abort();
+            ++r.compiles;
+        }
+        ++r.sweeps;
+        r.wall_s = nowSeconds() - start;
+    } while (r.wall_s < min_time_s);
+    r.compiles_per_s = static_cast<double>(r.compiles) / r.wall_s;
+    r.ops_per_s =
+        static_cast<double>(ops_per_sweep * r.sweeps) / r.wall_s;
+    return r;
+}
+
+/**
+ * Render one bench entry as JSON. The schema is pinned by
+ * tests/support_test.cc (BenchSchema.*): changing a key, a unit, or a
+ * config name needs a schema version bump there and in
+ * BENCH_scheduler.json.
+ */
+std::string
+entryJson(const std::string &label, size_t functions,
+          size_t ops_per_sweep, const std::vector<ConfigResult> &results)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"treegion-sched-bench/v1\",\n";
+    out += support::strprintf("  \"label\": \"%s\",\n", label.c_str());
+    out += support::strprintf("  \"bench_seed\": %llu,\n",
+                              static_cast<unsigned long long>(
+                                  bench::benchSeed()));
+    out += "  \"threads\": 1,\n";
+    out += support::strprintf(
+        "  \"workload\": {\"name\": \"specint95-proxies\", "
+        "\"functions\": %zu, \"ops_per_sweep\": %zu},\n",
+        functions, ops_per_sweep);
+    out += "  \"configs\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ConfigResult &r = results[i];
+        out += support::strprintf(
+            "    {\"name\": \"%s\", \"sweeps\": %zu, "
+            "\"compiles\": %zu, \"wall_s\": %.6g, "
+            "\"compiles_per_s\": %.6g, \"ops_per_s\": %.6g}%s\n",
+            r.config->name, r.sweeps, r.compiles, r.wall_s,
+            r.compiles_per_s, r.ops_per_s,
+            i + 1 < results.size() ? "," : "");
     }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
 }
-BENCHMARK(BM_FormTreegions);
-
-void
-BM_FormTreegionsTailDup(benchmark::State &state)
-{
-    for (auto _ : state) {
-        ir::Function fn = gccProxy().clone();
-        benchmark::DoNotOptimize(
-            region::formTreegionsTailDup(fn, {}));
-    }
-}
-BENCHMARK(BM_FormTreegionsTailDup);
-
-void
-BM_FormSuperblocks(benchmark::State &state)
-{
-    for (auto _ : state) {
-        ir::Function fn = gccProxy().clone();
-        benchmark::DoNotOptimize(region::formSuperblocks(fn, {}));
-    }
-}
-BENCHMARK(BM_FormSuperblocks);
-
-void
-BM_Liveness(benchmark::State &state)
-{
-    ir::Function fn = gccProxy().clone();
-    for (auto _ : state)
-        benchmark::DoNotOptimize(analysis::Liveness(fn));
-}
-BENCHMARK(BM_Liveness);
-
-void
-BM_PipelineScheme(benchmark::State &state)
-{
-    const auto scheme = static_cast<sched::RegionScheme>(state.range(0));
-    for (auto _ : state) {
-        ir::Function fn = gccProxy().clone();
-        sched::PipelineOptions options;
-        options.scheme = scheme;
-        options.model = sched::MachineModel::wide4U();
-        benchmark::DoNotOptimize(sched::runPipeline(fn, options));
-    }
-}
-BENCHMARK(BM_PipelineScheme)
-    ->Arg(static_cast<int>(sched::RegionScheme::BasicBlock))
-    ->Arg(static_cast<int>(sched::RegionScheme::Slr))
-    ->Arg(static_cast<int>(sched::RegionScheme::Superblock))
-    ->Arg(static_cast<int>(sched::RegionScheme::Treegion))
-    ->Arg(static_cast<int>(sched::RegionScheme::TreegionTailDup));
-
-void
-BM_Profile20Runs(benchmark::State &state)
-{
-    for (auto _ : state) {
-        ir::Function fn = gccProxy().clone();
-        benchmark::DoNotOptimize(
-            workloads::profileFunction(fn, 4096));
-    }
-}
-BENCHMARK(BM_Profile20Runs);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    double min_time_s = 0.3;
+    std::string label = "dev";
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--min-time") {
+            min_time_s = std::atof(value());
+        } else if (arg == "--label") {
+            label = value();
+        } else if (arg == "--json") {
+            json_path = value();
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--min-time S] [--label STR] "
+                         "[--json FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    auto workloads = bench::loadWorkloads();
+    size_t ops_per_sweep = 0;
+    for (bench::Workload &w : workloads)
+        ops_per_sweep += w.fn().totalOps();
+
+    std::vector<ConfigResult> results;
+    std::printf("%-12s %10s %10s %12s %14s\n", "config", "compiles",
+                "wall_s", "compiles/s", "ops/s");
+    for (const BenchConfig &config : kConfigs) {
+        ConfigResult r =
+            runConfig(workloads, config, ops_per_sweep, min_time_s);
+        std::printf("%-12s %10zu %10.3f %12.1f %14.0f\n", config.name,
+                    r.compiles, r.wall_s, r.compiles_per_s, r.ops_per_s);
+        results.push_back(r);
+    }
+
+    if (!json_path.empty()) {
+        const std::string json = entryJson(label, workloads.size(),
+                                           ops_per_sweep, results);
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        out << json;
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}
