@@ -147,6 +147,9 @@ class Function
     /** @return one-past-the-max virtual predicate index. */
     uint32_t numPreds() const { return next_pred_; }
 
+    /** @return one-past-the-max branch-target register index. */
+    uint32_t numBtrs() const { return next_btr_; }
+
     /** Reserve register name space at least up to the given counts. */
     void reserveRegs(uint32_t gprs, uint32_t preds, uint32_t btrs);
 

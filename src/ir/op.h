@@ -97,6 +97,23 @@ struct Op
      */
     std::vector<Reg> usedRegs() const;
 
+    /**
+     * Visit every register this op reads (sources then guard), in
+     * usedRegs() order but without materializing a vector — the
+     * allocation-free form the scheduling hot path uses.
+     */
+    template <typename F>
+    void
+    forEachUsedReg(F &&f) const
+    {
+        for (const Operand &src : srcs) {
+            if (src.isReg())
+                f(src.reg);
+        }
+        if (guard)
+            f(*guard);
+    }
+
     /** Replace every read of @p from (including guard) with @p to. */
     void renameUses(Reg from, Reg to);
 

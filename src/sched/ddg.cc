@@ -1,7 +1,6 @@
 #include "sched/ddg.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "support/logging.h"
 
@@ -9,162 +8,230 @@ namespace treegion::sched {
 
 using ir::BlockId;
 using ir::Reg;
+using support::Arena;
+using support::ArenaVector;
 
 namespace {
-
-/** Memory-ordering state along one root-to-leaf path. */
-struct MemState
-{
-    ssize_t last_store = -1;              ///< lowered index, -1 = none
-    std::vector<size_t> loads_since;      ///< loads after last_store
-};
 
 /** Visit cap for per-path DAG walks; beyond it we fall back to a
  * fully conservative total order. */
 constexpr size_t kWalkBudget = 1u << 17;
 
+/** Dense register numbering across the three classes. */
+struct RegSpace
+{
+    uint32_t gprs = 0;
+    uint32_t preds = 0;
+    uint32_t btrs = 0;
+
+    size_t
+    size() const
+    {
+        return static_cast<size_t>(gprs) + preds + btrs;
+    }
+
+    /** @return dense key of @p r, or SIZE_MAX when out of range. */
+    size_t
+    key(const Reg &r) const
+    {
+        switch (r.cls) {
+          case ir::RegClass::Gpr:
+            return r.idx < gprs ? r.idx : SIZE_MAX;
+          case ir::RegClass::Pred:
+            return r.idx < preds ? gprs + r.idx : SIZE_MAX;
+          case ir::RegClass::Btr:
+            return r.idx < btrs ? static_cast<size_t>(gprs) + preds +
+                                      r.idx
+                                : SIZE_MAX;
+        }
+        return SIZE_MAX;
+    }
+};
+
 } // namespace
 
-void
-Ddg::addEdge(size_t from, size_t to, int latency, bool slot_ordered,
-             bool virtual_ctrl)
+Ddg::Ddg(const LoweredRegion &lowered, const RegionIndex &index,
+         Arena &arena)
 {
-    TG_ASSERT(from != to);
-    succs_[from].push_back({to, latency, slot_ordered, virtual_ctrl});
-    preds_[to].push_back({from, latency, slot_ordered, virtual_ctrl});
+    build(lowered, index, arena);
 }
 
 Ddg::Ddg(const LoweredRegion &lowered)
+    : owned_arena_(std::make_unique<Arena>())
+{
+    const RegionIndex index(lowered, *owned_arena_);
+    build(lowered, index, *owned_arena_);
+}
+
+void
+Ddg::build(const LoweredRegion &lowered, const RegionIndex &index,
+           Arena &arena)
 {
     const size_t n = lowered.ops.size();
-    succs_.resize(n);
-    preds_.resize(n);
-    heights_.assign(n, 0);
+    n_ = n;
+    succs_ = arena.allocZeroed<EdgeList>(n);
+    preds_ = arena.allocZeroed<EdgeList>(n);
+    heights_ = arena.allocZeroed<int32_t>(n);
 
-    // Definition map. Full renaming gives GPRs/BTRs a single def;
-    // wired-AND predicates have one initializer plus one compare per
-    // condition, and hyperblock merge copies give one guarded MOV per
-    // incoming edge (the guards are mutually exclusive, so the writes
-    // commute and carry no mutual ordering).
-    std::unordered_map<Reg, std::vector<size_t>> defs;
+    // Per-op latency cache (repeated opcodeInfo lookups add up).
+    int32_t *lat = arena.allocArray<int32_t>(n);
+    for (size_t i = 0; i < n; ++i)
+        lat[i] = lowered.ops[i].op.latency();
+
+    // Definition CSR keyed by dense register id. Full renaming gives
+    // GPRs/BTRs a single def; wired-AND predicates have one
+    // initializer plus one compare per condition, and hyperblock
+    // merge copies give one guarded MOV per incoming edge (the guards
+    // are mutually exclusive, so the writes commute and carry no
+    // mutual ordering).
+    RegSpace regs;
     for (size_t i = 0; i < n; ++i) {
         for (const Reg &d : lowered.ops[i].op.dsts) {
-            auto &list = defs[d];
-            TG_ASSERT(list.empty() || d.cls == ir::RegClass::Pred ||
-                      lowered.ops[i].op.guard.has_value());
-            list.push_back(i);
+            switch (d.cls) {
+              case ir::RegClass::Gpr:
+                regs.gprs = std::max(regs.gprs, d.idx + 1);
+                break;
+              case ir::RegClass::Pred:
+                regs.preds = std::max(regs.preds, d.idx + 1);
+                break;
+              case ir::RegClass::Btr:
+                regs.btrs = std::max(regs.btrs, d.idx + 1);
+                break;
+            }
         }
     }
+    uint32_t *def_off = arena.allocZeroed<uint32_t>(regs.size() + 1);
+    for (size_t i = 0; i < n; ++i) {
+        for (const Reg &d : lowered.ops[i].op.dsts)
+            ++def_off[regs.key(d) + 1];
+    }
+    for (size_t r = 0; r < regs.size(); ++r)
+        def_off[r + 1] += def_off[r];
+    uint32_t *def_list = arena.allocArray<uint32_t>(def_off[regs.size()]);
+    {
+        uint32_t *fill = arena.allocArray<uint32_t>(regs.size());
+        for (size_t r = 0; r < regs.size(); ++r)
+            fill[r] = def_off[r];
+        for (size_t i = 0; i < n; ++i) {
+            for (const Reg &d : lowered.ops[i].op.dsts) {
+                const size_t r = regs.key(d);
+                TG_ASSERT(fill[r] == def_off[r] ||
+                          d.cls == ir::RegClass::Pred ||
+                          lowered.ops[i].op.guard.has_value());
+                def_list[fill[r]++] = static_cast<uint32_t>(i);
+            }
+        }
+    }
+    auto defs_of = [&](const Reg &r) -> support::Span<uint32_t> {
+        const size_t key = regs.key(r);
+        if (key == SIZE_MAX)
+            return {};
+        return {def_list + def_off[key], def_off[key + 1] - def_off[key]};
+    };
 
     // Value edges: sources and guards read after every producer.
     for (size_t i = 0; i < n; ++i) {
         const ir::Op &op = lowered.ops[i].op;
-        for (const Reg &use : op.usedRegs()) {
-            auto it = defs.find(use);
-            if (it == defs.end())
-                continue;
-            for (const size_t j : it->second) {
+        op.forEachUsedReg([&](const Reg &use) {
+            for (const uint32_t j : defs_of(use)) {
                 if (j != i)
-                    addEdge(j, i, lowered.ops[j].op.latency(), false);
+                    addEdge(arena, j, i, lat[j], false);
             }
-        }
+        });
         // Accumulating predicate defines read-modify-write their
         // destination: they must follow the initializer (but not
         // their commuting siblings).
         if (op.opcode == ir::Opcode::CMPPA ||
             op.opcode == ir::Opcode::CMPPO) {
-            const auto &list = defs.at(op.dsts[0]);
-            TG_ASSERT(lowered.ops[list.front()].op.opcode ==
+            const auto list = defs_of(op.dsts[0]);
+            TG_ASSERT(!list.empty());
+            TG_ASSERT(lowered.ops[list[0]].op.opcode ==
                           ir::Opcode::PSET ||
-                      lowered.ops[list.front()].op.opcode ==
+                      lowered.ops[list[0]].op.opcode ==
                           ir::Opcode::PCLR);
-            addEdge(list.front(), i, 1, false);
+            addEdge(arena, list[0], i, 1, false);
         }
     }
 
-    // Per-home op lists in emission order.
-    std::unordered_map<BlockId, std::vector<size_t>> by_home;
-    for (size_t i = 0; i < n; ++i)
-        by_home[lowered.ops[i].home].push_back(i);
+    const uint32_t root_bi = index.indexOf(lowered.root);
 
-    auto succs_of = [&](BlockId block) -> const std::vector<BlockId> & {
-        static const std::vector<BlockId> kEmpty;
-        auto it = lowered.succs_in_region.find(block);
-        return it == lowered.succs_in_region.end() ? kEmpty
-                                                   : it->second;
-    };
-
-    // Memory order edges along each internal path (DFS carrying
-    // state; a DAG may visit merge blocks once per incoming path).
+    // Memory order edges along each internal path (DFS; a DAG may
+    // visit merge blocks once per incoming path). The path state is a
+    // single shared (last store, loads-since window) snapshot rolled
+    // back on block exit — equivalent to the by-value state the walk
+    // used to copy per path, minus the copies.
     size_t walk_budget = kWalkBudget;
     bool budget_hit = false;
-    auto mem_walk = [&](auto &&self, BlockId block,
-                        MemState state) -> void {
-        if (walk_budget == 0) {
-            budget_hit = true;
-            return;
-        }
-        --walk_budget;
-        auto it = by_home.find(block);
-        if (it != by_home.end()) {
-            for (const size_t i : it->second) {
+    {
+        ssize_t last_store = -1;
+        ArenaVector<uint32_t> loads(arena);
+        size_t window_start = 0;  // loads_since == loads[window..end)
+        auto mem_walk = [&](auto &&self, uint32_t bi) -> void {
+            if (walk_budget == 0) {
+                budget_hit = true;
+                return;
+            }
+            --walk_budget;
+            const ssize_t saved_last = last_store;
+            const size_t saved_window = window_start;
+            const size_t saved_size = loads.size();
+            for (const uint32_t i : index.opsIn(bi)) {
                 const ir::Op &op = lowered.ops[i].op;
                 if (op.isStore()) {
-                    if (state.last_store >= 0)
-                        addEdge(static_cast<size_t>(state.last_store), i,
-                                0, true);
-                    for (const size_t load : state.loads_since)
-                        addEdge(load, i, 0, true);
-                    state.last_store = static_cast<ssize_t>(i);
-                    state.loads_since.clear();
+                    if (last_store >= 0)
+                        addEdge(arena,
+                                static_cast<size_t>(last_store), i, 0,
+                                true);
+                    for (size_t k = window_start; k < loads.size(); ++k)
+                        addEdge(arena, loads[k], i, 0, true);
+                    last_store = static_cast<ssize_t>(i);
+                    window_start = loads.size();
                 } else if (op.isLoad()) {
-                    if (state.last_store >= 0)
-                        addEdge(static_cast<size_t>(state.last_store), i,
-                                0, true);
-                    state.loads_since.push_back(i);
+                    if (last_store >= 0)
+                        addEdge(arena,
+                                static_cast<size_t>(last_store), i, 0,
+                                true);
+                    loads.push_back(i);
                 }
             }
-        }
-        for (const BlockId child : succs_of(block))
-            self(self, child, state);
-    };
-    mem_walk(mem_walk, lowered.root, MemState{});
-
-    // Exit lookup by home block.
-    std::unordered_map<BlockId, std::vector<const LoweredExit *>>
-        exits_by_home;
-    for (const LoweredExit &exit : lowered.exits)
-        exits_by_home[exit.from].push_back(&exit);
+            for (const uint32_t child : index.succs(bi))
+                self(self, child);
+            last_store = saved_last;
+            window_start = saved_window;
+            loads.resize(saved_size);
+        };
+        mem_walk(mem_walk, root_bi);
+    }
 
     // Pinning edges: each guarded store precedes every exit branch
-    // reachable at or below its block.
-    auto pin_walk = [&](auto &&self, BlockId block,
-                        std::vector<size_t> stores) -> void {
-        if (walk_budget == 0) {
-            budget_hit = true;
-            return;
-        }
-        --walk_budget;
-        auto it = by_home.find(block);
-        if (it != by_home.end()) {
-            for (const size_t i : it->second) {
+    // reachable at or below its block. Same rollback discipline; the
+    // store set only ever grows along a path, so a size mark suffices.
+    {
+        ArenaVector<uint32_t> stores(arena);
+        auto pin_walk = [&](auto &&self, uint32_t bi) -> void {
+            if (walk_budget == 0) {
+                budget_hit = true;
+                return;
+            }
+            --walk_budget;
+            const size_t saved_size = stores.size();
+            for (const uint32_t i : index.opsIn(bi)) {
                 if (lowered.ops[i].pinned)
                     stores.push_back(i);
             }
-        }
-        auto eit = exits_by_home.find(block);
-        if (eit != exits_by_home.end()) {
-            for (const LoweredExit *exit : eit->second) {
-                for (const size_t s : stores) {
-                    if (s != exit->op_index)
-                        addEdge(s, exit->op_index, 0, false);
+            for (const uint32_t e : index.exitsIn(bi)) {
+                const size_t exit_op = lowered.exits[e].op_index;
+                for (const uint32_t s : stores) {
+                    if (s != exit_op)
+                        addEdge(arena, s, exit_op, 0, false);
                 }
             }
-        }
-        for (const BlockId child : succs_of(block))
-            self(self, child, stores);
-    };
-    pin_walk(pin_walk, lowered.root, {});
+            for (const uint32_t child : index.succs(bi))
+                self(self, child);
+            stores.resize(saved_size);
+        };
+        pin_walk(pin_walk, root_bi);
+    }
 
     if (budget_hit) {
         // Pathologically path-dense region: fall back to a total
@@ -175,14 +242,15 @@ Ddg::Ddg(const LoweredRegion &lowered)
             const ir::Op &op = lowered.ops[i].op;
             if (op.isMemory()) {
                 if (last_mem >= 0)
-                    addEdge(static_cast<size_t>(last_mem), i, 0, true);
+                    addEdge(arena, static_cast<size_t>(last_mem), i, 0,
+                            true);
                 last_mem = static_cast<ssize_t>(i);
             }
         }
         for (const LoweredExit &exit : lowered.exits) {
             for (size_t i = 0; i < exit.op_index; ++i) {
                 if (lowered.ops[i].pinned)
-                    addEdge(i, exit.op_index, 0, false);
+                    addEdge(arena, i, exit.op_index, 0, false);
             }
         }
     }
@@ -190,24 +258,20 @@ Ddg::Ddg(const LoweredRegion &lowered)
     // Exit data edges for reconciliation copies.
     for (const LoweredExit &exit : lowered.exits) {
         for (const ExitCopy &copy : exit.copies) {
-            auto it = defs.find(copy.src);
-            if (it == defs.end())
-                continue;
-            for (const size_t j : it->second) {
-                const int lat = lowered.ops[j].op.latency() - 1;
+            for (const uint32_t j : defs_of(copy.src)) {
                 if (j != exit.op_index)
-                    addEdge(j, exit.op_index, lat, false);
+                    addEdge(arena, j, exit.op_index, lat[j] - 1, false);
             }
         }
     }
 
     // Extra deps (PBR -> branch).
     for (const auto &[from, to] : lowered.extra_deps)
-        addEdge(from, to, lowered.ops[from].op.latency(), false);
+        addEdge(arena, from, to, lat[from], false);
 
     // Dedupe parallel real edges, keeping the strongest constraint.
-    auto dedupe = [](std::vector<DdgEdge> &edges) {
-        std::sort(edges.begin(), edges.end(),
+    auto dedupe = [](EdgeList &edges) {
+        std::sort(edges.data, edges.data + edges.size,
                   [](const DdgEdge &a, const DdgEdge &b) {
                       if (a.other != b.other)
                           return a.other < b.other;
@@ -215,33 +279,36 @@ Ddg::Ddg(const LoweredRegion &lowered)
                           return a.latency > b.latency;
                       return a.slot_ordered && !b.slot_ordered;
                   });
-        edges.erase(std::unique(edges.begin(), edges.end(),
-                                [](const DdgEdge &a, const DdgEdge &b) {
-                                    return a.other == b.other &&
-                                           a.slot_ordered ==
-                                               b.slot_ordered;
-                                }),
-                    edges.end());
+        DdgEdge *last = std::unique(
+            edges.data, edges.data + edges.size,
+            [](const DdgEdge &a, const DdgEdge &b) {
+                return a.other == b.other &&
+                       a.slot_ordered == b.slot_ordered;
+            });
+        edges.size = static_cast<uint32_t>(last - edges.data);
     };
-    for (auto &edges : succs_)
-        dedupe(edges);
-    for (auto &edges : preds_)
-        dedupe(edges);
+    for (size_t i = 0; i < n; ++i) {
+        dedupe(succs_[i]);
+        dedupe(preds_[i]);
+    }
 
     // Virtual control edges for dependence heights: each exit branch
     // "controls" everything homed strictly below its block.
-    for (size_t i = 0; i < n; ++i) {
-        if (lowered.ops[i].kind != LoweredKind::ExitBranch)
-            continue;
-        const BlockId home = lowered.ops[i].home;
-        for (const BlockId below : lowered.reachableFrom(home)) {
-            if (below == home)
+    {
+        ArenaVector<uint32_t> reach(arena);
+        for (size_t i = 0; i < n; ++i) {
+            if (lowered.ops[i].kind != LoweredKind::ExitBranch)
                 continue;
-            auto it = by_home.find(below);
-            if (it == by_home.end())
-                continue;
-            for (const size_t target : it->second)
-                addEdge(i, target, 1, false, true);
+            const uint32_t home_bi =
+                index.indexOf(lowered.ops[i].home);
+            reach.clear();
+            index.reachableFrom(home_bi, reach);
+            for (const uint32_t below : reach) {
+                if (below == home_bi)
+                    continue;
+                for (const uint32_t target : index.opsIn(below))
+                    addEdge(arena, i, target, 1, false, true);
+            }
         }
     }
 
@@ -249,16 +316,17 @@ Ddg::Ddg(const LoweredRegion &lowered)
     // edges can point backwards in emission order, so use memoized
     // DFS rather than a reverse sweep. Height floors let a second
     // pass raise specific nodes without introducing cycles.
-    std::vector<int> floors(n, 0);
+    int32_t *floors = arena.allocZeroed<int32_t>(n);
+    int8_t *mark = arena.allocArray<int8_t>(n);
     auto compute_heights = [&]() {
-        std::vector<int8_t> mark(n, 0);  // 0 new, 1 open, 2 done
+        std::memset(mark, 0, n);  // 0 new, 1 open, 2 done
         auto height_of = [&](auto &&self, size_t i) -> int {
             if (mark[i] == 2)
                 return heights_[i];
             TG_ASSERT(mark[i] != 1 && "cycle in DDG");
             mark[i] = 1;
-            int h = std::max(lowered.ops[i].op.latency(), floors[i]);
-            for (const DdgEdge &e : succs_[i])
+            int h = std::max(lat[i], floors[i]);
+            for (const DdgEdge &e : succs(i))
                 h = std::max(h, e.latency + self(self, e.other));
             mark[i] = 2;
             heights_[i] = h;
@@ -281,7 +349,7 @@ Ddg::Ddg(const LoweredRegion &lowered)
     bool any_backedge = false;
     int tallest = 0;
     for (size_t i = 0; i < n; ++i)
-        tallest = std::max(tallest, heights_[i]);
+        tallest = std::max(tallest, static_cast<int>(heights_[i]));
     for (const LoweredExit &exit : lowered.exits) {
         if (!exit.is_ret && exit.target == lowered.root) {
             floors[exit.op_index] = tallest + 1;

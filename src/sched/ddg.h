@@ -28,22 +28,30 @@
  * LoweredRegion::succs_in_region — a tree for treegions and linear
  * regions, a DAG for hyperblocks — so this graph (and hence the list
  * scheduler) is agnostic to the region type.
+ *
+ * Storage: everything lives in a caller-provided per-job arena (see
+ * DESIGN.md §11) — dense adjacency lists of POD edges, no per-node
+ * heap traffic. The one-argument constructor owns a private arena for
+ * convenience in tests and one-off tools.
  */
 
 #ifndef TREEGION_SCHED_DDG_H
 #define TREEGION_SCHED_DDG_H
 
-#include <vector>
+#include <memory>
 
 #include "sched/lowering.h"
+#include "sched/region_index.h"
+#include "support/arena.h"
+#include "support/logging.h"
 
 namespace treegion::sched {
 
 /** One dependence edge. */
 struct DdgEdge
 {
-    size_t other;        ///< the node on the other end
-    int latency;         ///< minimum cycle distance (0 = same cycle ok)
+    uint32_t other;      ///< the node on the other end
+    int32_t latency;     ///< minimum cycle distance (0 = same cycle ok)
     bool slot_ordered;   ///< 0-latency edges that additionally require
                          ///< earlier-slot placement when sharing a cycle
     bool virtual_ctrl;   ///< control edge kept only for dependence
@@ -56,17 +64,29 @@ struct DdgEdge
 class Ddg
 {
   public:
-    /** Build the graph for @p lowered. */
+    /** Build the graph in @p arena using a prebuilt block index. */
+    Ddg(const LoweredRegion &lowered, const RegionIndex &index,
+        support::Arena &arena);
+
+    /** Convenience: build with a private arena (tests, tools). */
     explicit Ddg(const LoweredRegion &lowered);
 
     /** @return node count (== lowered op count). */
-    size_t size() const { return succs_.size(); }
+    size_t size() const { return n_; }
 
     /** @return outgoing edges of node @p i. */
-    const std::vector<DdgEdge> &succs(size_t i) const { return succs_[i]; }
+    support::Span<DdgEdge>
+    succs(size_t i) const
+    {
+        return {succs_[i].data, succs_[i].size};
+    }
 
     /** @return incoming edges of node @p i. */
-    const std::vector<DdgEdge> &preds(size_t i) const { return preds_[i]; }
+    support::Span<DdgEdge>
+    preds(size_t i) const
+    {
+        return {preds_[i].data, preds_[i].size};
+    }
 
     /**
      * Dependence height of node @p i: the critical-path length (in
@@ -76,12 +96,49 @@ class Ddg
     int height(size_t i) const { return heights_[i]; }
 
   private:
-    void addEdge(size_t from, size_t to, int latency, bool slot_ordered,
-                 bool virtual_ctrl = false);
+    /** Arena-backed growable edge list. */
+    struct EdgeList
+    {
+        DdgEdge *data = nullptr;
+        uint32_t size = 0;
+        uint32_t cap = 0;
 
-    std::vector<std::vector<DdgEdge>> succs_;
-    std::vector<std::vector<DdgEdge>> preds_;
-    std::vector<int> heights_;
+        void
+        push(support::Arena &arena, const DdgEdge &e)
+        {
+            if (size == cap) {
+                const uint32_t grown = cap ? cap * 2 : 4;
+                DdgEdge *moved = arena.allocArray<DdgEdge>(grown);
+                for (uint32_t k = 0; k < size; ++k)
+                    moved[k] = data[k];
+                data = moved;
+                cap = grown;
+            }
+            data[size++] = e;
+        }
+    };
+
+    void build(const LoweredRegion &lowered, const RegionIndex &index,
+               support::Arena &arena);
+
+    void
+    addEdge(support::Arena &arena, size_t from, size_t to, int latency,
+            bool slot_ordered, bool virtual_ctrl = false)
+    {
+        TG_ASSERT(from != to);
+        succs_[from].push(arena, {static_cast<uint32_t>(to), latency,
+                                  slot_ordered, virtual_ctrl});
+        preds_[to].push(arena, {static_cast<uint32_t>(from), latency,
+                                slot_ordered, virtual_ctrl});
+    }
+
+    size_t n_ = 0;
+    EdgeList *succs_ = nullptr;
+    EdgeList *preds_ = nullptr;
+    int32_t *heights_ = nullptr;
+
+    /** Backing storage for the convenience constructor only. */
+    std::unique_ptr<support::Arena> owned_arena_;
 };
 
 } // namespace treegion::sched

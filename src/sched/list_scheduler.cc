@@ -1,13 +1,15 @@
 #include "sched/list_scheduler.h"
 
 #include <algorithm>
-#include <memory>
-
+#include <atomic>
+#include <cstring>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "sched/ddg.h"
 #include "sched/hyperblock_lowering.h"
+#include "support/arena.h"
 #include "support/logging.h"
 #include "support/remarks.h"
 #include "support/trace.h"
@@ -16,56 +18,107 @@ namespace treegion::sched {
 
 namespace {
 
-/** Mutable per-node scheduling state. */
-struct NodeState
-{
-    bool scheduled = false;
-    bool elided = false;
-    int cycle = -1;
-    int slot = -1;
-    size_t rep = 0;  ///< representative node when elided
-};
+using support::Arena;
 
+/** Aggregated per-thread scheduler-arena statistics. */
+std::atomic<uint64_t> g_arena_jobs{0};
+std::atomic<uint64_t> g_arena_high_water{0};
+std::atomic<uint64_t> g_arena_capacity{0};
+
+void
+raiseMax(std::atomic<uint64_t> &slot, uint64_t value)
+{
+    uint64_t seen = slot.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !slot.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * The per-thread scheduling arena. Reset (blocks retained) at the
+ * start of every compile job, so a warmed-up thread schedules with
+ * zero heap allocations in the DDG + placement path — the property
+ * tests/alloc_regression_test.cc pins.
+ */
+Arena &
+schedArena()
+{
+    static thread_local Arena arena(1u << 20);
+    return arena;
+}
+
+/**
+ * The scheduling hot path over structure-of-arrays state (DESIGN.md
+ * §11): every per-op attribute is a dense arena array indexed by the
+ * lowered op id, the ready list is a bitset over priority ranks, and
+ * dependence bookkeeping is incremental (pending-predecessor counts),
+ * so each cycle touches only pred-complete candidates instead of
+ * rescanning every unscheduled op.
+ */
 class Scheduler
 {
   public:
     Scheduler(ir::Function &fn, LoweredRegion lowered,
-              const MachineModel &model, const SchedOptions &options)
+              const MachineModel &model, const SchedOptions &options,
+              Arena &arena)
         : fn_(fn),
           lowered_(std::move(lowered)),
-          ddg_(lowered_),
+          arena_(arena),
+          index_(lowered_, arena),
+          ddg_(lowered_, index_, arena),
           model_(model),
-          options_(options),
-          state_(lowered_.ops.size())
+          options_(options)
     {
     }
 
-    RegionSchedule run();
+    /** Priority sort + cycle-driven placement; no result assembly. */
+    void place();
+
+    /** Build the RegionSchedule from a completed place(). */
+    RegionSchedule assemble();
+
+    /** Schedule length of a completed place(), in cycles. */
+    int
+    placedLength() const
+    {
+        int length = 0;
+        for (size_t i = 0; i < n_; ++i) {
+            if (!elided_[i])
+                length = std::max(length, cycle_[i] + 1);
+        }
+        return length;
+    }
 
   private:
+    static constexpr uint32_t npos = UINT32_MAX;
+
     /** Effective position of a (possibly elided) scheduled node. */
     std::pair<int, int>
-    position(size_t i) const
+    position(uint32_t i) const
     {
-        const NodeState &s = state_[i];
-        if (s.elided)
-            return position(s.rep);
-        return {s.cycle, s.slot};
+        while (elided_[i])
+            i = rep_[i];
+        return {cycle_[i], slot_[i]};
     }
 
     /**
      * Can node @p i issue at (@p cycle, @p slot)? All DDG
      * predecessors must be scheduled with their latencies satisfied.
+     * Only called for pred-complete candidates; the slow scan handles
+     * slot-ordered edges, everything else is answered by the cached
+     * earliest-cycle bound.
      */
     bool
-    ready(size_t i, int cycle, int slot) const
+    ready(uint32_t i, int cycle, int slot) const
     {
+        if (cycle < min_cycle_[i])
+            return false;
+        if (!has_slot_pred_[i])
+            return true;
         for (const DdgEdge &e : ddg_.preds(i)) {
             if (e.virtual_ctrl)
                 continue;  // priority-only: speculation may break it
-            const NodeState &p = state_[e.other];
-            if (!p.scheduled)
-                return false;
             const auto [pc, ps] = position(e.other);
             if (e.latency > 0) {
                 if (cycle < pc + e.latency)
@@ -85,32 +138,28 @@ class Scheduler
      * Find a scheduled twin for dominator-parallelism elision: same
      * duplication group, same opcode/compare, identical (renamed)
      * sources, unguarded computation, and a position that also
-     * satisfies @p i's memory-ordering edges.
+     * satisfies @p i's memory-ordering edges. Only the op's own
+     * duplication group is scanned (in lowering order, matching the
+     * historical full scan, which skipped every other op anyway).
      *
      * @return twin index, or npos
      */
-    size_t
-    findTwin(size_t i) const
+    uint32_t
+    findTwin(uint32_t i) const
     {
         const LoweredOp &lop = lowered_.ops[i];
-        if (lop.kind != LoweredKind::Computation || lop.pinned ||
-            lop.op.guard || lop.op.dupGroup == 0 ||
-            lop.op.dsts.size() != 1) {
-            return npos;
-        }
-        for (size_t j = 0; j < lowered_.ops.size(); ++j) {
+        for (uint32_t m = group_lo_[i]; m < group_hi_[i]; ++m) {
+            const uint32_t j = group_members_[m];
             // Elided nodes are skipped: their destination register is
             // never actually written, so aliasing to it would read
             // garbage. The surviving representative qualifies on its
             // own (same duplication group and sources).
-            if (j == i || !state_[j].scheduled || state_[j].elided)
+            if (j == i || !scheduled_[j] || elided_[j])
                 continue;
             const LoweredOp &twin = lowered_.ops[j];
-            if (twin.op.dupGroup != lop.op.dupGroup ||
-                twin.op.opcode != lop.op.opcode ||
-                twin.op.cmp != lop.op.cmp || twin.op.guard ||
-                twin.op.srcs != lop.op.srcs ||
-                twin.op.dsts.size() != 1) {
+            if (!twin_ok_[j] || twin.op.opcode != lop.op.opcode ||
+                twin.op.cmp != lop.op.cmp ||
+                twin.op.srcs != lop.op.srcs) {
                 continue;
             }
             // The twin's position must satisfy this op's memory
@@ -121,8 +170,8 @@ class Scheduler
             for (const DdgEdge &e : ddg_.preds(i)) {
                 if (e.latency == 0 && e.slot_ordered) {
                     const auto [pc, ps] = position(e.other);
-                    if (!state_[e.other].scheduled ||
-                        pc > tc || (pc == tc && ps >= ts)) {
+                    if (!scheduled_[e.other] || pc > tc ||
+                        (pc == tc && ps >= ts)) {
                         order_ok = false;
                         break;
                     }
@@ -136,12 +185,12 @@ class Scheduler
 
     /** Alias @p i's destination to its twin's in all pending readers. */
     void
-    elide(size_t i, size_t twin)
+    elide(uint32_t i, uint32_t twin)
     {
         const ir::Reg from = lowered_.ops[i].op.dsts[0];
         const ir::Reg to = lowered_.ops[twin].op.dsts[0];
-        for (size_t k = 0; k < lowered_.ops.size(); ++k) {
-            if (!state_[k].scheduled)
+        for (size_t k = 0; k < n_; ++k) {
+            if (!scheduled_[k])
                 lowered_.ops[k].op.renameUses(from, to);
         }
         for (LoweredExit &exit : lowered_.exits) {
@@ -150,9 +199,9 @@ class Scheduler
                     copy.src = to;
             }
         }
-        state_[i].scheduled = true;
-        state_[i].elided = true;
-        state_[i].rep = twin;
+        scheduled_[i] = 1;
+        elided_[i] = 1;
+        rep_[i] = twin;
         support::remark(support::RemarkKind::Elided)
             .block(lowered_.ops[i].home)
             .op(lowered_.ops[i].op.id)
@@ -161,13 +210,50 @@ class Scheduler
     }
 
     /**
+     * Node @p i just became pred-complete: cache its earliest legal
+     * cycle (slot-ordered edges still need the per-slot scan) and
+     * enter it into the candidate pool.
+     */
+    void
+    onPredComplete(uint32_t i)
+    {
+        int mc = 0;
+        bool has_slot = false;
+        for (const DdgEdge &e : ddg_.preds(i)) {
+            if (e.virtual_ctrl)
+                continue;
+            const auto [pc, ps] = position(e.other);
+            (void)ps;
+            mc = std::max(mc, e.latency > 0 ? pc + e.latency : pc);
+            has_slot = has_slot || e.slot_ordered;
+        }
+        min_cycle_[i] = mc;
+        has_slot_pred_[i] = has_slot;
+        const uint32_t r = rank_of_[i];
+        cand_[r >> 6] |= 1ull << (r & 63);
+    }
+
+    /** Mark @p i placed and release its successors. */
+    void
+    retire(uint32_t i)
+    {
+        const uint32_t r = rank_of_[i];
+        cand_[r >> 6] &= ~(1ull << (r & 63));
+        for (const DdgEdge &e : ddg_.succs(i)) {
+            if (e.virtual_ctrl)
+                continue;
+            if (--pending_[e.other] == 0)
+                onPredComplete(e.other);
+        }
+    }
+
+    /**
      * Report priority ties: adjacent pairs of the sorted order whose
      * keys are equal under @p heuristic, i.e. decided only by the
      * deterministic lowering-order fallback.
      */
     void
-    reportTieBreaks(const std::vector<size_t> &order,
-                    const std::vector<PriorityKeys> &keys,
+    reportTieBreaks(const uint32_t *order, const PriorityKeys *keys,
                     Heuristic heuristic) const
     {
         auto tied = [&](const PriorityKeys &a, const PriorityKeys &b) {
@@ -186,8 +272,8 @@ class Scheduler
             }
             return false;
         };
-        for (size_t k = 0; k + 1 < order.size(); ++k) {
-            const size_t w = order[k], l = order[k + 1];
+        for (size_t k = 0; k + 1 < n_; ++k) {
+            const uint32_t w = order[k], l = order[k + 1];
             if (!tied(keys[w], keys[l]))
                 continue;
             support::remark(support::RemarkKind::TieBreak)
@@ -203,22 +289,46 @@ class Scheduler
         }
     }
 
-    static constexpr size_t npos = static_cast<size_t>(-1);
-
     ir::Function &fn_;
     LoweredRegion lowered_;
+    Arena &arena_;
+    RegionIndex index_;
     Ddg ddg_;
     MachineModel model_;
     SchedOptions options_;
-    std::vector<NodeState> state_;
+
+    // Structure-of-arrays scheduling state, all arena-backed and
+    // indexed by lowered op id.
+    size_t n_ = 0;
+    uint8_t *scheduled_ = nullptr;
+    uint8_t *elided_ = nullptr;
+    int32_t *cycle_ = nullptr;
+    int32_t *slot_ = nullptr;
+    uint32_t *rep_ = nullptr;
+    int32_t *pending_ = nullptr;     ///< unscheduled real preds
+    int32_t *min_cycle_ = nullptr;   ///< earliest cycle once complete
+    uint8_t *has_slot_pred_ = nullptr;
+    uint8_t *twin_ok_ = nullptr;     ///< may serve as an elision twin
+    uint8_t *elig_ = nullptr;        ///< may be elided itself
+    uint32_t *order_ = nullptr;      ///< rank -> op (exits first)
+    uint32_t *rank_of_ = nullptr;    ///< op -> rank
+    uint64_t *cand_ = nullptr;       ///< candidate bitset over ranks
+    size_t cand_words_ = 0;
+    uint32_t *group_members_ = nullptr;  ///< dupGroup buckets
+    uint32_t *group_lo_ = nullptr;   ///< op -> its bucket range
+    uint32_t *group_hi_ = nullptr;
+    size_t elided_count_ = 0;
 };
 
-RegionSchedule
-Scheduler::run()
+void
+Scheduler::place()
 {
     const size_t n = lowered_.ops.size();
-    const auto keys = computePriorityKeys(fn_, lowered_, ddg_);
-    auto order = sortByPriority(keys, options_.heuristic);
+    n_ = n;
+    const PriorityKeys *keys =
+        computePriorityKeys(fn_, lowered_, index_, ddg_, arena_);
+    uint32_t *order =
+        sortByPriority(keys, n, options_.heuristic, arena_);
     if (support::remarksEnabled())
         reportTieBreaks(order, keys, options_.heuristic);
 
@@ -228,13 +338,98 @@ Scheduler::run()
     // be taken), so exits precede computation in the pick order. The
     // heuristic still decides everything that matters: the order of
     // computation determines when each path's producers are done and
-    // hence when its exit becomes ready.
-    std::stable_partition(order.begin(), order.end(), [&](size_t i) {
-        return lowered_.ops[i].kind == LoweredKind::ExitBranch;
-    });
+    // hence when its exit becomes ready. (Stable partition, done by
+    // hand to stay inside the arena.)
+    order_ = arena_.allocArray<uint32_t>(n);
+    {
+        size_t at = 0;
+        for (size_t k = 0; k < n; ++k) {
+            if (lowered_.ops[order[k]].kind == LoweredKind::ExitBranch)
+                order_[at++] = order[k];
+        }
+        for (size_t k = 0; k < n; ++k) {
+            if (lowered_.ops[order[k]].kind != LoweredKind::ExitBranch)
+                order_[at++] = order[k];
+        }
+    }
+    rank_of_ = arena_.allocArray<uint32_t>(n);
+    for (size_t r = 0; r < n; ++r)
+        rank_of_[order_[r]] = static_cast<uint32_t>(r);
+
+    scheduled_ = arena_.allocZeroed<uint8_t>(n);
+    elided_ = arena_.allocZeroed<uint8_t>(n);
+    cycle_ = arena_.allocFilled<int32_t>(n, -1);
+    slot_ = arena_.allocFilled<int32_t>(n, -1);
+    rep_ = arena_.allocZeroed<uint32_t>(n);
+    pending_ = arena_.allocZeroed<int32_t>(n);
+    min_cycle_ = arena_.allocZeroed<int32_t>(n);
+    has_slot_pred_ = arena_.allocZeroed<uint8_t>(n);
+    cand_words_ = (n + 63) / 64;
+    cand_ = arena_.allocZeroed<uint64_t>(cand_words_);
+
+    // Dominator-parallelism support tables: per-dupGroup member
+    // buckets (ascending op index) and static eligibility flags.
+    elig_ = arena_.allocZeroed<uint8_t>(n);
+    twin_ok_ = arena_.allocZeroed<uint8_t>(n);
+    group_lo_ = arena_.allocZeroed<uint32_t>(n);
+    group_hi_ = arena_.allocZeroed<uint32_t>(n);
+    {
+        size_t grouped = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (lowered_.ops[i].op.dupGroup != 0)
+                ++grouped;
+        }
+        uint64_t *pairs = arena_.allocArray<uint64_t>(grouped);
+        size_t at = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const LoweredOp &lop = lowered_.ops[i];
+            if (lop.op.dupGroup == 0)
+                continue;
+            pairs[at++] = (static_cast<uint64_t>(lop.op.dupGroup)
+                           << 32) |
+                          i;
+            elig_[i] = lop.kind == LoweredKind::Computation &&
+                       !lop.pinned && !lop.op.guard &&
+                       lop.op.dsts.size() == 1;
+            twin_ok_[i] =
+                !lop.op.guard && lop.op.dsts.size() == 1;
+        }
+        std::sort(pairs, pairs + grouped);
+        group_members_ = arena_.allocArray<uint32_t>(grouped);
+        for (size_t m = 0; m < grouped; ++m)
+            group_members_[m] = static_cast<uint32_t>(pairs[m]);
+        size_t lo = 0;
+        while (lo < grouped) {
+            size_t hi = lo + 1;
+            while (hi < grouped &&
+                   (pairs[hi] >> 32) == (pairs[lo] >> 32))
+                ++hi;
+            for (size_t m = lo; m < hi; ++m) {
+                group_lo_[group_members_[m]] =
+                    static_cast<uint32_t>(lo);
+                group_hi_[group_members_[m]] =
+                    static_cast<uint32_t>(hi);
+            }
+            lo = hi;
+        }
+    }
+
+    // Pending-predecessor counts over real (non-virtual) edges; the
+    // pred/succ lists are symmetrically deduped, so decrements match.
+    for (size_t i = 0; i < n; ++i) {
+        int32_t count = 0;
+        for (const DdgEdge &e : ddg_.preds(i)) {
+            if (!e.virtual_ctrl)
+                ++count;
+        }
+        pending_[i] = count;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (pending_[i] == 0)
+            onPredComplete(static_cast<uint32_t>(i));
+    }
 
     size_t scheduled_count = 0;
-    size_t elided_count = 0;
     int cycle = 0;
     const int max_cycles =
         static_cast<int>(n) * 16 + 1024;  // runaway guard
@@ -245,66 +440,86 @@ Scheduler::run()
         bool progress = true;
         while (progress) {
             progress = false;
-            for (const size_t i : order) {
-                if (state_[i].scheduled)
-                    continue;
-                // Elision consumes no slot, so test it before the
-                // width check; readiness for elision only requires
-                // the twin's position to satisfy the ordering edges.
-                if (options_.dominator_parallelism) {
-                    const size_t twin = findTwin(i);
-                    if (twin != npos && ready(i, cycle, slots_used)) {
-                        elide(i, twin);
-                        ++scheduled_count;
-                        ++elided_count;
-                        progress = true;
-                        continue;
+            // Candidates in priority-rank order. A node released at a
+            // HIGHER rank mid-scan is picked up later in this same
+            // pass (the word is re-read after every action); one
+            // released at a lower rank waits for the next pass —
+            // exactly the classic whole-order rescan semantics.
+            for (size_t w = 0; w < cand_words_; ++w) {
+                uint64_t bits = cand_[w];
+                while (bits) {
+                    const int b = __builtin_ctzll(bits);
+                    const uint32_t i =
+                        order_[(w << 6) + static_cast<size_t>(b)];
+                    bool acted = false;
+                    if (ready(i, cycle, slots_used)) {
+                        // Elision consumes no slot, so try it even
+                        // with all slots filled.
+                        if (options_.dominator_parallelism &&
+                            elig_[i]) {
+                            const uint32_t twin = findTwin(i);
+                            if (twin != npos) {
+                                elide(i, twin);
+                                ++elided_count_;
+                                acted = true;
+                            }
+                        }
+                        if (!acted && slots_used < model_.issue_width) {
+                            scheduled_[i] = 1;
+                            cycle_[i] = cycle;
+                            slot_[i] = slots_used;
+                            ++slots_used;
+                            acted = true;
+                        }
                     }
+                    if (acted) {
+                        retire(i);
+                        ++scheduled_count;
+                        progress = true;
+                    }
+                    bits = cand_[w] &
+                           (b == 63 ? 0 : (~0ull << (b + 1)));
                 }
-                if (slots_used >= model_.issue_width)
-                    continue;
-                if (!ready(i, cycle, slots_used))
-                    continue;
-                state_[i].scheduled = true;
-                state_[i].cycle = cycle;
-                state_[i].slot = slots_used;
-                ++slots_used;
-                ++scheduled_count;
-                progress = true;
             }
         }
         ++cycle;
     }
+}
 
-    // Assemble the schedule: surviving ops sorted by (cycle, slot).
+RegionSchedule
+Scheduler::assemble()
+{
+    const size_t n = n_;
     RegionSchedule sched;
     sched.root = lowered_.root;
-    sched.succs_in_region = lowered_.succs_in_region;
+    sched.succs_in_region = std::move(lowered_.succs_in_region);
     sched.stats.renamed_defs = lowered_.renamed_defs;
-    sched.stats.elided_ops = elided_count;
+    sched.stats.elided_ops = elided_count_;
 
+    // Surviving ops sorted by (cycle, slot).
     std::vector<size_t> emit_order;
+    emit_order.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-        if (!state_[i].elided)
+        if (!elided_[i])
             emit_order.push_back(i);
     }
     std::sort(emit_order.begin(), emit_order.end(),
               [&](size_t a, size_t b) {
-                  return std::make_pair(state_[a].cycle, state_[a].slot) <
-                         std::make_pair(state_[b].cycle, state_[b].slot);
+                  return std::make_pair(cycle_[a], slot_[a]) <
+                         std::make_pair(cycle_[b], slot_[b]);
               });
 
-    std::vector<size_t> lowered_to_out(n, npos);
+    std::vector<size_t> lowered_to_out(n, SIZE_MAX);
+    sched.ops.reserve(emit_order.size());
     for (const size_t i : emit_order) {
         ScheduledOp sop;
-        sop.op = lowered_.ops[i].op;
-        sop.cycle = state_[i].cycle;
-        sop.slot = state_[i].slot;
+        sop.op = std::move(lowered_.ops[i].op);
+        sop.cycle = cycle_[i];
+        sop.slot = slot_[i];
         sop.home = lowered_.ops[i].home;
         sop.speculative = lowered_.ops[i].kind ==
                               LoweredKind::Computation &&
-                          !lowered_.ops[i].op.guard &&
-                          lowered_.ops[i].home != lowered_.root;
+                          !sop.op.guard && sop.home != lowered_.root;
         if (sop.speculative) {
             ++sched.stats.speculated_ops;
             support::remark(support::RemarkKind::Speculated)
@@ -316,21 +531,21 @@ Scheduler::run()
         }
         lowered_to_out[i] = sched.ops.size();
         sched.ops.push_back(std::move(sop));
-        sched.length = std::max(sched.length, state_[i].cycle + 1);
+        sched.length = std::max(sched.length, cycle_[i] + 1);
     }
 
-    for (const LoweredExit &exit : lowered_.exits) {
+    for (LoweredExit &exit : lowered_.exits) {
         ScheduledExit se;
-        TG_ASSERT(lowered_to_out[exit.op_index] != npos);
+        TG_ASSERT(lowered_to_out[exit.op_index] != SIZE_MAX);
         se.op_index = lowered_to_out[exit.op_index];
         se.target_slot = exit.target_slot;
         se.from = exit.from;
         se.target = exit.target;
         se.is_ret = exit.is_ret;
         se.weight = exit.weight;
-        se.cycle = state_[exit.op_index].cycle;
-        se.copies = exit.copies;
+        se.cycle = cycle_[exit.op_index];
         sched.stats.exit_copies += exit.copies.size();
+        se.copies = std::move(exit.copies);
         sched.exits.push_back(std::move(se));
     }
     if (support::remarksEnabled()) {
@@ -338,8 +553,7 @@ Scheduler::run()
         // branches the paper merges into one MultiOp.
         std::map<int, std::set<size_t>> branches_at;
         for (const LoweredExit &exit : lowered_.exits)
-            branches_at[state_[exit.op_index].cycle].insert(
-                exit.op_index);
+            branches_at[cycle_[exit.op_index]].insert(exit.op_index);
         for (const auto &[exit_cycle, branches] : branches_at) {
             if (branches.size() > 1) {
                 support::remark(support::RemarkKind::ExitMerged)
@@ -359,17 +573,60 @@ scheduleLoweredRegion(ir::Function &fn, LoweredRegion lowered,
                       const MachineModel &model,
                       const SchedOptions &options)
 {
-    // The DDG is built by the Scheduler's constructor; timing the
-    // construction and the run separately gives the per-stage split
-    // the tracing layer reports (ddg_build vs list_sched).
-    std::unique_ptr<Scheduler> scheduler;
+    Arena &arena = schedArena();
+    arena.reset();
+    // Timing DDG construction and the placement separately gives the
+    // per-stage split the tracing layer reports (ddg_build vs
+    // list_sched). The Scheduler itself is arena-backed but the
+    // object is tiny; placement-new it into the arena too so the job
+    // performs no heap traffic at all.
+    Scheduler *scheduler;
     {
         support::TraceScope span("ddg_build", "sched");
-        scheduler = std::make_unique<Scheduler>(fn, std::move(lowered),
-                                                model, options);
+        void *raw = arena.allocate(sizeof(Scheduler),
+                                   alignof(Scheduler));
+        scheduler = new (raw)
+            Scheduler(fn, std::move(lowered), model, options, arena);
     }
-    support::TraceScope span("list_sched", "sched");
-    return scheduler->run();
+    RegionSchedule sched = [&] {
+        support::TraceScope span("list_sched", "sched");
+        scheduler->place();
+        return scheduler->assemble();
+    }();
+    scheduler->~Scheduler();
+    g_arena_jobs.fetch_add(1, std::memory_order_relaxed);
+    raiseMax(g_arena_high_water, arena.highWater());
+    raiseMax(g_arena_capacity, arena.capacity());
+    return sched;
+}
+
+int
+runPlacementProbe(ir::Function &fn, LoweredRegion lowered,
+                  const MachineModel &model, const SchedOptions &options)
+{
+    Arena &arena = schedArena();
+    arena.reset();
+    void *raw = arena.allocate(sizeof(Scheduler), alignof(Scheduler));
+    Scheduler *scheduler = new (raw)
+        Scheduler(fn, std::move(lowered), model, options, arena);
+    scheduler->place();
+    const int length = scheduler->placedLength();
+    scheduler->~Scheduler();
+    g_arena_jobs.fetch_add(1, std::memory_order_relaxed);
+    raiseMax(g_arena_high_water, arena.highWater());
+    raiseMax(g_arena_capacity, arena.capacity());
+    return length;
+}
+
+void
+reportArenaMetrics(support::MetricsRegistry &metrics)
+{
+    metrics.set("sched.arena.jobs",
+                g_arena_jobs.load(std::memory_order_relaxed));
+    metrics.set("sched.arena.high_water_bytes",
+                g_arena_high_water.load(std::memory_order_relaxed));
+    metrics.set("sched.arena.capacity_bytes",
+                g_arena_capacity.load(std::memory_order_relaxed));
 }
 
 RegionSchedule

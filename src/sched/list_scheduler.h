@@ -23,6 +23,7 @@
 #include "sched/machine_model.h"
 #include "sched/priority.h"
 #include "sched/schedule.h"
+#include "support/metrics.h"
 
 namespace treegion::sched {
 
@@ -60,6 +61,28 @@ RegionSchedule scheduleRegion(ir::Function &fn, const region::Region &r,
                               const analysis::Liveness &live,
                               const MachineModel &model,
                               const SchedOptions &options);
+
+/**
+ * Run the scheduling hot path only — DDG construction, priority
+ * sorting and op placement — without assembling a RegionSchedule.
+ * Placement results stay in the per-job arena, so a warmed-up call
+ * performs zero heap allocations; tests/alloc_regression_test.cc
+ * pins that property.
+ *
+ * @return the schedule length in cycles (same value a full run's
+ *         RegionSchedule::length would have)
+ */
+int runPlacementProbe(ir::Function &fn, LoweredRegion lowered,
+                      const MachineModel &model,
+                      const SchedOptions &options);
+
+/**
+ * Report the scheduler's per-thread arena statistics (aggregated over
+ * all threads that ever scheduled) into @p metrics:
+ * sched.arena.jobs, sched.arena.high_water_bytes,
+ * sched.arena.capacity_bytes.
+ */
+void reportArenaMetrics(support::MetricsRegistry &metrics);
 
 } // namespace treegion::sched
 

@@ -17,8 +17,108 @@ using ir::Reg;
 
 namespace {
 
-/** Current renaming of original registers along one tree path. */
-using RenameMap = std::unordered_map<Reg, Reg>;
+/**
+ * Current renaming of original registers along one tree path.
+ *
+ * Semantically this is a map copied by value into every recursive
+ * lowerBlock call (sibling paths diverge). Copying a hash map per
+ * tree node is O(path length) per copy; instead the table is dense
+ * per-class storage shared by the whole walk plus an undo journal:
+ * the caller takes a mark() before recursing into a child and
+ * rollback()s afterwards, restoring exactly the state a by-value copy
+ * would have given the sibling.
+ */
+class RenameTable
+{
+  public:
+    explicit RenameTable(const ir::Function &fn)
+    {
+        slots_[slotClass(ir::RegClass::Gpr)].resize(fn.numGprs());
+        slots_[slotClass(ir::RegClass::Pred)].resize(fn.numPreds());
+        slots_[slotClass(ir::RegClass::Btr)].resize(fn.numBtrs());
+    }
+
+    /** @return the current renaming of @p orig, or nullptr. */
+    const Reg *
+    find(Reg orig) const
+    {
+        const auto &slots = slots_[slotClass(orig.cls)];
+        if (orig.idx >= slots.size() || !slots[orig.idx].present)
+            return nullptr;
+        return &slots[orig.idx].val;
+    }
+
+    /** Map @p orig to @p renamed (journaled). */
+    void
+    set(Reg orig, Reg renamed)
+    {
+        auto &slots = slots_[slotClass(orig.cls)];
+        if (orig.idx >= slots.size())
+            slots.resize(orig.idx + 1);
+        Entry &entry = slots[orig.idx];
+        journal_.push_back({orig, entry.val, entry.present != 0});
+        if (!entry.present)
+            keys_.push_back(orig);
+        entry.val = renamed;
+        entry.present = 1;
+    }
+
+    /** Undo point for rollback(). */
+    size_t mark() const { return journal_.size(); }
+
+    /** Restore the table to the state at @p mark. */
+    void
+    rollback(size_t mark)
+    {
+        while (journal_.size() > mark) {
+            const Undo &undo = journal_.back();
+            Entry &entry =
+                slots_[slotClass(undo.orig.cls)][undo.orig.idx];
+            if (undo.was_present) {
+                entry.val = undo.prev;
+            } else {
+                entry.present = 0;
+                TG_ASSERT(!keys_.empty() && keys_.back() == undo.orig);
+                keys_.pop_back();
+            }
+            journal_.pop_back();
+        }
+    }
+
+    /** Visit every present (orig, renamed) pair, insertion order. */
+    template <typename F>
+    void
+    forEachPresent(F &&f) const
+    {
+        for (const Reg orig : keys_) {
+            const auto &slots = slots_[slotClass(orig.cls)];
+            f(orig, slots[orig.idx].val);
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        Reg val{};
+        uint8_t present = 0;
+    };
+    struct Undo
+    {
+        Reg orig;
+        Reg prev;
+        bool was_present;
+    };
+
+    static size_t
+    slotClass(ir::RegClass cls)
+    {
+        return static_cast<size_t>(cls);
+    }
+
+    std::vector<Entry> slots_[3];
+    std::vector<Reg> keys_;  ///< present keys, oldest first
+    std::vector<Undo> journal_;
+};
 
 /** One path condition: cmp(a, b) with renamed operands. */
 struct Cond
@@ -33,7 +133,7 @@ class Lowerer
   public:
     Lowerer(ir::Function &fn, const region::Region &r,
             const analysis::Liveness &live, const LowerOptions &options)
-        : fn_(fn), region_(r), live_(live), options_(options)
+        : fn_(fn), region_(r), live_(live), options_(options), map_(fn)
     {
         out_.root = r.root();
     }
@@ -41,8 +141,7 @@ class Lowerer
     LoweredRegion
     run()
     {
-        RenameMap map;
-        lowerBlock(region_.root(), map, {});
+        lowerBlock(region_.root());
         // Record the region's internal tree for the DDG.
         for (const ir::BlockId id : region_.blocks())
             out_.succs_in_region[id] = region_.childrenOf(id);
@@ -50,15 +149,14 @@ class Lowerer
     }
 
   private:
-    /** Rewrite an op's register reads through @p map. */
-    static void
-    applyRenames(Op &op, const RenameMap &map)
+    /** Rewrite an op's register reads through the rename table. */
+    void
+    applyRenames(Op &op) const
     {
         for (ir::Operand &src : op.srcs) {
             if (src.isReg()) {
-                auto it = map.find(src.reg);
-                if (it != map.end())
-                    src.reg = it->second;
+                if (const Reg *renamed = map_.find(src.reg))
+                    src.reg = *renamed;
             }
         }
         // Guards are synthesized path predicates, never renamed
@@ -67,7 +165,7 @@ class Lowerer
 
     /** Rename every destination of @p op to a fresh register. */
     void
-    renameDests(Op &op, RenameMap &map, BlockId home)
+    renameDests(Op &op, BlockId home)
     {
         for (Reg &dst : op.dsts) {
             Reg fresh;
@@ -91,7 +189,7 @@ class Lowerer
                     .arg("from", dst.str())
                     .arg("to", fresh.str());
             }
-            map[dst] = fresh;
+            map_.set(dst, fresh);
             dst = fresh;
             ++out_.renamed_defs;
         }
@@ -99,17 +197,17 @@ class Lowerer
 
     /** Reconciliation copies for an exit into @p target. */
     std::vector<ExitCopy>
-    copiesFor(const RenameMap &map, BlockId target)
+    copiesFor(BlockId target)
     {
         std::vector<ExitCopy> copies;
-        for (const auto &[orig, renamed] : map) {
+        map_.forEachPresent([&](Reg orig, Reg renamed) {
             if (orig == renamed)
-                continue;
+                return;
             if (orig.cls == ir::RegClass::Btr)
-                continue;
+                return;
             if (live_.liveIn(target, orig))
                 copies.push_back({orig, renamed});
-        }
+        });
         std::sort(copies.begin(), copies.end(),
                   [](const ExitCopy &a, const ExitCopy &b) {
                       return std::make_pair(a.dst.cls, a.dst.idx) <
@@ -166,12 +264,12 @@ class Lowerer
 
     /** The block's own path predicate, materialized at most once. */
     std::optional<Reg>
-    blockPred(BlockId id, const std::vector<Cond> &conds)
+    blockPred(BlockId id)
     {
         auto it = block_pred_.find(id);
         if (it != block_pred_.end())
             return it->second;
-        auto p = materializePred(conds, id);
+        auto p = materializePred(conds_, id);
         block_pred_.emplace(id, p);
         return p;
     }
@@ -179,7 +277,7 @@ class Lowerer
     /** Emit an exit branch, its optional PBR, and the exit record. */
     void
     emitExit(Op branch, BlockId home, size_t target_slot, BlockId target,
-             bool is_ret, double weight, const RenameMap &map)
+             bool is_ret, double weight)
     {
         if (options_.materialize_pbr && !is_ret && target != kNoBlock) {
             Op pbr = ir::makePbr(fn_.freshBtr(), target);
@@ -189,20 +287,18 @@ class Lowerer
             const size_t br_idx = emit(std::move(branch), home,
                                        LoweredKind::ExitBranch);
             out_.extra_deps.emplace_back(pbr_idx, br_idx);
-            recordExit(br_idx, home, target_slot, target, is_ret, weight,
-                       map);
+            recordExit(br_idx, home, target_slot, target, is_ret,
+                       weight);
             return;
         }
         const size_t br_idx =
             emit(std::move(branch), home, LoweredKind::ExitBranch);
-        recordExit(br_idx, home, target_slot, target, is_ret, weight,
-                   map);
+        recordExit(br_idx, home, target_slot, target, is_ret, weight);
     }
 
     void
     recordExit(size_t op_index, BlockId from, size_t target_slot,
-               BlockId target, bool is_ret, double weight,
-               const RenameMap &map)
+               BlockId target, bool is_ret, double weight)
     {
         LoweredExit exit;
         exit.op_index = op_index;
@@ -212,24 +308,24 @@ class Lowerer
         exit.is_ret = is_ret;
         exit.weight = weight;
         if (!is_ret && target != kNoBlock)
-            exit.copies = copiesFor(map, target);
+            exit.copies = copiesFor(target);
         out_.exits.push_back(std::move(exit));
     }
 
     /**
-     * Emit a conditional exit along @p conds to @p target (plain BRU
-     * when the condition set is empty, i.e. an exit from the root).
+     * Emit a conditional exit along the current path conditions to
+     * @p target (plain BRU when the condition set is empty, i.e. an
+     * exit from the root).
      */
     void
-    emitCondExit(const std::vector<Cond> &conds, BlockId home,
-                 size_t target_slot, BlockId target, double weight,
-                 const RenameMap &map)
+    emitCondExit(BlockId home, size_t target_slot, BlockId target,
+                 double weight)
     {
-        const auto p = materializePred(conds, home);
+        const auto p = materializePred(conds_, home);
         Op branch = p ? ir::makeBrct(*p, target, kNoBlock)
                       : ir::makeBru(target);
         emitExit(std::move(branch), home, target_slot, target, false,
-                 weight, map);
+                 weight);
     }
 
     /** Profile weight of target slot @p slot of @p b. */
@@ -240,16 +336,23 @@ class Lowerer
         return slot < weights.size() ? weights[slot] : 0.0;
     }
 
+    /** Recurse into internal child @p target, isolating renames. */
+    void
+    lowerChild(BlockId target)
+    {
+        const size_t mark = map_.mark();
+        lowerBlock(target);
+        map_.rollback(mark);
+    }
+
     /**
      * Lower block @p id, then recurse into its internal children.
-     *
-     * @param id block to lower
-     * @param map renaming inherited from the parent path (by value:
-     *            sibling paths diverge)
-     * @param conds path conditions from the root (by value)
+     * The rename table (map_) and path-condition stack (conds_) hold
+     * the state inherited from the parent path; recursion isolates
+     * sibling paths via mark/rollback and push/pop.
      */
     void
-    lowerBlock(BlockId id, RenameMap map, std::vector<Cond> conds)
+    lowerBlock(BlockId id)
     {
         ir::BasicBlock &b = fn_.block(id);
         const Op &term = b.terminator();
@@ -271,17 +374,17 @@ class Lowerer
             if (has_cond && orig.opcode == Opcode::CMPP &&
                 !orig.dsts.empty() && orig.dsts[0] == cond_reg) {
                 Op probe = orig;
-                applyRenames(probe, map);
+                applyRenames(probe);
                 branch_cond = Cond{probe.cmp, probe.srcs[0],
                                    probe.srcs[1]};
                 continue;
             }
             Op op = orig;
-            applyRenames(op, map);
-            renameDests(op, map, id);
+            applyRenames(op);
+            renameDests(op, id);
             const bool pinned = op.isStore();
             if (pinned)
-                op.guard = blockPred(id, conds);
+                op.guard = blockPred(id);
             emit(std::move(op), id, LoweredKind::Computation, pinned);
         }
 
@@ -289,10 +392,9 @@ class Lowerer
         switch (term.opcode) {
           case Opcode::RET: {
             Op ret = term;
-            applyRenames(ret, map);
-            ret.guard = blockPred(id, conds);
-            emitExit(std::move(ret), id, 0, kNoBlock, true, b.weight(),
-                     map);
+            applyRenames(ret);
+            ret.guard = blockPred(id);
+            emitExit(std::move(ret), id, 0, kNoBlock, true, b.weight());
             break;
           }
           case Opcode::BRU: {
@@ -300,15 +402,15 @@ class Lowerer
             if (region_.isInternalEdge(fn_, id, 0)) {
                 // The branch dissolves; the child inherits this
                 // block's conditions unchanged.
-                lowerBlock(target, map, conds);
+                lowerChild(target);
             } else {
                 // Reuses the block predicate (shared with any guarded
                 // stores in this block).
-                const auto p = blockPred(id, conds);
+                const auto p = blockPred(id);
                 Op branch = p ? ir::makeBrct(*p, target, kNoBlock)
                               : ir::makeBru(target);
                 emitExit(std::move(branch), id, 0, target, false,
-                         edgeWeight(b, 0), map);
+                         edgeWeight(b, 0));
             }
             break;
           }
@@ -325,20 +427,19 @@ class Lowerer
             const Cond edge_cond[2] = {taken, fall};
             for (size_t slot = 0; slot < term.targets.size(); ++slot) {
                 const BlockId target = term.targets[slot];
-                std::vector<Cond> edge_conds = conds;
-                edge_conds.push_back(edge_cond[slot]);
+                conds_.push_back(edge_cond[slot]);
                 if (region_.isInternalEdge(fn_, id, slot)) {
-                    lowerBlock(target, map, std::move(edge_conds));
+                    lowerChild(target);
                 } else {
-                    emitCondExit(edge_conds, id, slot, target,
-                                 edgeWeight(b, slot), map);
+                    emitCondExit(id, slot, target, edgeWeight(b, slot));
                 }
+                conds_.pop_back();
             }
             break;
           }
           case Opcode::MWBR: {
             Op sel_probe = term;
-            applyRenames(sel_probe, map);
+            applyRenames(sel_probe);
             const ir::Operand selector = sel_probe.srcs[0];
 
             Op mwbr = term;
@@ -352,24 +453,24 @@ class Lowerer
                     // selector-match condition; the MWBR case falls
                     // through.
                     mwbr.targets[slot] = kNoBlock;
-                    std::vector<Cond> child_conds = conds;
-                    child_conds.push_back(
+                    conds_.push_back(
                         Cond{ir::CmpKind::EQ, selector,
                              ir::Operand::makeImm(
                                  term.caseValues[slot])});
-                    lowerBlock(target, map, std::move(child_conds));
+                    lowerChild(target);
+                    conds_.pop_back();
                 } else {
                     any_exit = true;
                     exit_cases.emplace_back(slot, target);
                 }
             }
             if (any_exit) {
-                mwbr.guard = blockPred(id, conds);
+                mwbr.guard = blockPred(id);
                 const size_t br_idx =
                     emit(std::move(mwbr), id, LoweredKind::ExitBranch);
                 for (const auto &[slot, target] : exit_cases) {
                     recordExit(br_idx, id, slot, target, false,
-                               edgeWeight(b, slot), map);
+                               edgeWeight(b, slot));
                 }
             }
             break;
@@ -385,6 +486,8 @@ class Lowerer
     const analysis::Liveness &live_;
     const LowerOptions &options_;
     LoweredRegion out_;
+    RenameTable map_;
+    std::vector<Cond> conds_;  ///< path conditions, root to here
     std::unordered_map<BlockId, std::optional<Reg>> block_pred_;
 };
 

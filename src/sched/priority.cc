@@ -1,7 +1,6 @@
 #include "sched/priority.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "support/logging.h"
 
@@ -19,45 +18,49 @@ heuristicName(Heuristic heuristic)
     TG_PANIC("bad Heuristic");
 }
 
-std::vector<PriorityKeys>
+const PriorityKeys *
 computePriorityKeys(ir::Function &fn, const LoweredRegion &lowered,
-                    const Ddg &ddg)
+                    const RegionIndex &index, const Ddg &ddg,
+                    support::Arena &arena)
 {
-    // Exits per home block.
-    std::unordered_map<ir::BlockId, size_t> exits_at;
-    for (const LoweredExit &exit : lowered.exits)
-        ++exits_at[exit.from];
+    const size_t num_blocks = index.numBlocks();
 
     // Exits at-or-below each block, via region-internal reachability.
-    std::unordered_map<ir::BlockId, size_t> exits_below;
-    for (const auto &[block, succs] : lowered.succs_in_region) {
-        size_t count = 0;
-        for (const ir::BlockId reached : lowered.reachableFrom(block)) {
-            auto it = exits_at.find(reached);
-            if (it != exits_at.end())
-                count += it->second;
+    size_t *exits_below = arena.allocZeroed<size_t>(num_blocks);
+    double *weight_of = arena.allocArray<double>(num_blocks);
+    {
+        support::ArenaVector<uint32_t> reach(arena);
+        for (uint32_t bi = 0; bi < num_blocks; ++bi) {
+            reach.clear();
+            index.reachableFrom(bi, reach);
+            size_t count = 0;
+            for (const uint32_t reached : reach)
+                count += index.exitsIn(reached).size();
+            exits_below[bi] = count;
+            weight_of[bi] = fn.block(index.blockOf(bi)).weight();
         }
-        exits_below[block] = count;
     }
 
-    std::vector<PriorityKeys> keys(lowered.ops.size());
+    PriorityKeys *keys = arena.allocArray<PriorityKeys>(
+        lowered.ops.size());
     for (size_t i = 0; i < lowered.ops.size(); ++i) {
+        const uint32_t bi = index.indexOf(lowered.ops[i].home);
         keys[i].height = ddg.height(i);
-        auto it = exits_below.find(lowered.ops[i].home);
-        keys[i].exit_count = it == exits_below.end() ? 0 : it->second;
-        keys[i].weight = fn.block(lowered.ops[i].home).weight();
+        keys[i].exit_count = exits_below[bi];
+        keys[i].weight = weight_of[bi];
     }
     return keys;
 }
 
-std::vector<size_t>
-sortByPriority(const std::vector<PriorityKeys> &keys, Heuristic heuristic)
+uint32_t *
+sortByPriority(const PriorityKeys *keys, size_t n, Heuristic heuristic,
+               support::Arena &arena)
 {
-    std::vector<size_t> order(keys.size());
-    for (size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
+    uint32_t *order = arena.allocArray<uint32_t>(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = static_cast<uint32_t>(i);
 
-    auto cmp = [&](size_t a, size_t b) {
+    auto cmp = [&](uint32_t a, uint32_t b) {
         const PriorityKeys &ka = keys[a];
         const PriorityKeys &kb = keys[b];
         switch (heuristic) {
@@ -88,7 +91,7 @@ sortByPriority(const std::vector<PriorityKeys> &keys, Heuristic heuristic)
         }
         return a < b;  // stable final tie-break: lowering order
     };
-    std::sort(order.begin(), order.end(), cmp);
+    std::sort(order, order + n, cmp);
     return order;
 }
 

@@ -57,22 +57,26 @@ struct PriorityKeys
 };
 
 /**
- * Compute priority keys for every lowered op. Exit counts follow the
- * paper's definition — the number of region exits that follow the
- * op's home block in (region-internal) control flow — generalized
- * through LoweredRegion::succs_in_region so it also covers DAG
- * regions.
+ * Compute priority keys for every lowered op, allocated in @p arena.
+ * Exit counts follow the paper's definition — the number of region
+ * exits that follow the op's home block in (region-internal) control
+ * flow — generalized through the region's internal successor
+ * structure so it also covers DAG regions.
+ *
+ * @return an array of lowered.ops.size() keys, arena lifetime
  */
-std::vector<PriorityKeys> computePriorityKeys(ir::Function &fn,
-                                              const LoweredRegion &lowered,
-                                              const Ddg &ddg);
+const PriorityKeys *computePriorityKeys(ir::Function &fn,
+                                        const LoweredRegion &lowered,
+                                        const RegionIndex &index,
+                                        const Ddg &ddg,
+                                        support::Arena &arena);
 
 /**
- * The paper's sortDDGNodesBy*** step: @return lowered-op indices in
- * decreasing priority under @p heuristic.
+ * The paper's sortDDGNodesBy*** step: @return an arena array of @p n
+ * lowered-op indices in decreasing priority under @p heuristic.
  */
-std::vector<size_t> sortByPriority(const std::vector<PriorityKeys> &keys,
-                                   Heuristic heuristic);
+uint32_t *sortByPriority(const PriorityKeys *keys, size_t n,
+                         Heuristic heuristic, support::Arena &arena);
 
 } // namespace treegion::sched
 

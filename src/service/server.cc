@@ -17,6 +17,7 @@
 
 #include "ir/parser.h"
 #include "ir/verifier.h"
+#include "sched/list_scheduler.h"
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
 #include "support/logging.h"
@@ -535,6 +536,9 @@ Server::compileNow(const Request &req)
         remarks.foldInto(metrics_);
     }
     metrics_.observe("compile_ms", resp.compile_ms);
+    // Scheduler arena gauges (sched.arena.*) for /stats: refreshed
+    // after every compile so the snapshot tracks the warm footprint.
+    sched::reportArenaMetrics(metrics_);
     if (use_cache) {
         cache_.insert(key, resp.body);
         const CompileCache::Stats cs = cache_.stats();

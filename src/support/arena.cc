@@ -1,0 +1,75 @@
+#include "support/arena.h"
+
+namespace treegion::support {
+
+Arena::Arena(size_t first_block) : next_block_size_(first_block) {}
+
+Arena::~Arena()
+{
+    Block *b = head_;
+    while (b) {
+        Block *next = b->next;
+        ::operator delete(static_cast<void *>(b));
+        b = next;
+    }
+}
+
+void
+Arena::reset()
+{
+    if (used_ > high_water_)
+        high_water_ = used_;
+    used_ = 0;
+    cur_ = head_;
+    if (cur_) {
+        ptr_ = cur_->data();
+        end_ = ptr_ + cur_->size;
+    } else {
+        ptr_ = end_ = nullptr;
+    }
+}
+
+void *
+Arena::refill(size_t bytes, size_t align)
+{
+    // Waste the tail of the current block; count it as used so the
+    // high-water mark reflects real footprint.
+    used_ += static_cast<size_t>(end_ - ptr_);
+
+    // Reuse the next retained block when it fits.
+    Block *next = cur_ ? cur_->next : head_;
+    while (next && next->size < bytes + align) {
+        // Too small for this request: skip it (stays retained for the
+        // next reset; sizes double, so skips are rare).
+        used_ += next->size;
+        cur_ = next;
+        next = next->next;
+    }
+    if (!next) {
+        size_t want = next_block_size_;
+        while (want < bytes + align)
+            want *= 2;
+        next_block_size_ = want * 2;
+        next = static_cast<Block *>(
+            ::operator new(sizeof(Block) + want));
+        next->next = nullptr;
+        next->size = want;
+        if (cur_)
+            cur_->next = next;
+        else
+            head_ = next;
+        capacity_ += want;
+    }
+    cur_ = next;
+    ptr_ = cur_->data();
+    end_ = ptr_ + cur_->size;
+
+    uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+    p = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    char *aligned = reinterpret_cast<char *>(p);
+    used_ += static_cast<size_t>(aligned - ptr_) + bytes;
+    ptr_ = aligned + bytes;
+    return aligned;
+}
+
+} // namespace treegion::support

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Chunked bump allocator for per-job scratch memory.
+ *
+ * The scheduling hot path allocates all of its transient structures
+ * (DDG edge lists, priority tables, ready-list state) from one Arena
+ * that is reset — not freed — between compile jobs, so steady-state
+ * compiles perform no per-op heap traffic (DESIGN.md §11).
+ *
+ * Ownership rules:
+ *  - An Arena owns its blocks; reset() retains them for reuse and
+ *    only the destructor returns memory to the heap.
+ *  - Objects allocated from an arena are never destroyed
+ *    individually: allocation is only suitable for trivially
+ *    destructible payloads (PODs, ids, spans), which is exactly what
+ *    the SoA scheduling tables are.
+ *  - Anything that outlives the compile job (the RegionSchedule, the
+ *    IR itself) must NOT live in the arena.
+ */
+
+#ifndef TREEGION_SUPPORT_ARENA_H
+#define TREEGION_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace treegion::support {
+
+/** Chunked bump allocator; see file header for the ownership rules. */
+class Arena
+{
+  public:
+    /** @param first_block byte size of the first chunk. */
+    explicit Arena(size_t first_block = 1u << 16);
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate @p bytes aligned to @p align. */
+    void *
+    allocate(size_t bytes, size_t align)
+    {
+        uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+        p = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+        char *aligned = reinterpret_cast<char *>(p);
+        if (aligned + bytes > end_)
+            return refill(bytes, align);
+        used_ += static_cast<size_t>(aligned - ptr_) + bytes;
+        ptr_ = aligned + bytes;
+        return aligned;
+    }
+
+    /** Allocate an uninitialized array of @p count T. */
+    template <typename T>
+    T *
+    allocArray(size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena objects are never destroyed");
+        return static_cast<T *>(allocate(count * sizeof(T), alignof(T)));
+    }
+
+    /** Allocate an array of @p count T, value-initialized. */
+    template <typename T>
+    T *
+    allocZeroed(size_t count)
+    {
+        T *out = allocArray<T>(count);
+        std::memset(static_cast<void *>(out), 0, count * sizeof(T));
+        return out;
+    }
+
+    /** Allocate an array of @p count T, each set to @p value. */
+    template <typename T>
+    T *
+    allocFilled(size_t count, const T &value)
+    {
+        T *out = allocArray<T>(count);
+        for (size_t i = 0; i < count; ++i)
+            out[i] = value;
+        return out;
+    }
+
+    /**
+     * Forget every allocation but retain the blocks: the next job
+     * bump-allocates into the same memory with no heap traffic.
+     */
+    void reset();
+
+    /** Bytes handed out since the last reset (including padding). */
+    size_t used() const { return used_; }
+
+    /** Largest used() ever observed at reset time or now. */
+    size_t highWater() const { return used_ > high_water_ ? used_ : high_water_; }
+
+    /** Total bytes of owned blocks. */
+    size_t capacity() const { return capacity_; }
+
+  private:
+    struct Block
+    {
+        Block *next;
+        size_t size;  ///< payload bytes following this header
+        char *data() { return reinterpret_cast<char *>(this + 1); }
+    };
+
+    /** Slow path: move to the next retained block or grow. */
+    void *refill(size_t bytes, size_t align);
+
+    Block *head_ = nullptr;  ///< block list in allocation order
+    Block *cur_ = nullptr;   ///< block being bumped
+    char *ptr_ = nullptr;
+    char *end_ = nullptr;
+    size_t used_ = 0;
+    size_t high_water_ = 0;
+    size_t capacity_ = 0;
+    size_t next_block_size_;
+};
+
+/**
+ * Minimal growable array of trivially destructible T inside an Arena.
+ * Growth abandons the old buffer in the arena (reclaimed at reset);
+ * this is the intended trade for malloc-free push.
+ */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_destructible_v<T>);
+
+  public:
+    explicit ArenaVector(Arena &arena) : arena_(&arena) {}
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ == cap_)
+            grow();
+        data_[size_++] = value;
+    }
+
+    void
+    resize(size_t n, const T &value = T())
+    {
+        reserve(n);
+        for (size_t i = size_; i < n; ++i)
+            data_[i] = value;
+        size_ = n;
+    }
+
+    void
+    reserve(size_t n)
+    {
+        if (n <= cap_)
+            return;
+        T *grown = arena_->allocArray<T>(n);
+        if (size_)
+            std::memcpy(static_cast<void *>(grown), data_,
+                        size_ * sizeof(T));
+        data_ = grown;
+        cap_ = n;
+    }
+
+    void pop_back() { --size_; }
+    void clear() { size_ = 0; }
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+    T &back() { return data_[size_ - 1]; }
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+  private:
+    void
+    grow()
+    {
+        reserve(cap_ ? cap_ * 2 : 8);
+    }
+
+    Arena *arena_;
+    T *data_ = nullptr;
+    size_t size_ = 0;
+    size_t cap_ = 0;
+};
+
+/** Non-owning view over a contiguous arena-backed array. */
+template <typename T>
+struct Span
+{
+    const T *data = nullptr;
+    size_t count = 0;
+
+    const T *begin() const { return data; }
+    const T *end() const { return data + count; }
+    const T &operator[](size_t i) const { return data[i]; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+};
+
+} // namespace treegion::support
+
+#endif // TREEGION_SUPPORT_ARENA_H
