@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a fresh throughput_scheduler --json run against the last
+committed BENCH_scheduler.json entry (CI perf-smoke gate).
+
+Usage: perf_compare.py FRESH_JSON [--history BENCH_scheduler.json]
+                       [--max-regression 0.20]
+
+Absolute compiles/s depends on the machine, so per-config ratios are
+normalized by the median ratio across configs: the median captures
+"how much faster/slower is this machine than the one that recorded the
+baseline", and a config whose normalized ratio still falls more than
+--max-regression below 1.0 has regressed relative to its peers. A
+uniform slowdown of every config by construction cannot trip the gate
+(it is indistinguishable from a slower machine); the tier-1 suite and
+the 2x acceptance bar in BENCH_scheduler.json cover that axis.
+
+Exit codes: 0 ok, 1 regression, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+SCHEMA = "treegion-sched-bench/v1"
+
+
+def load_entry(obj, what):
+    if obj.get("schema") != SCHEMA:
+        sys.exit(f"error: {what}: schema {obj.get('schema')!r} != {SCHEMA!r}")
+    configs = {c["name"]: c["compiles_per_s"] for c in obj["configs"]}
+    if not configs:
+        sys.exit(f"error: {what}: no configs")
+    return configs
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", help="JSON file written by --json")
+    ap.add_argument("--history", default="BENCH_scheduler.json")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="fail when a normalized ratio drops more than "
+                         "this fraction below 1.0 (default 0.20)")
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = load_entry(json.load(f), args.fresh)
+    with open(args.history) as f:
+        history = json.load(f)
+    if not isinstance(history, list) or not history:
+        sys.exit(f"error: {args.history} must be a non-empty array")
+    base_entry = history[-1]
+    base = load_entry(base_entry, f"{args.history}[-1]")
+
+    if set(fresh) != set(base):
+        sys.exit(f"error: config mismatch: fresh {sorted(fresh)} vs "
+                 f"baseline {sorted(base)}")
+
+    ratios = {name: fresh[name] / base[name] for name in base}
+    median = statistics.median(ratios.values())
+    floor = 1.0 - args.max_regression
+
+    print(f"baseline: {base_entry.get('label')} "
+          f"(median machine ratio {median:.2f}x)")
+    print(f"{'config':<12}{'base':>10}{'fresh':>10}{'norm':>8}")
+    failed = []
+    for name in base:
+        norm = ratios[name] / median
+        mark = ""
+        if norm < floor:
+            failed.append(name)
+            mark = "  << REGRESSION"
+        print(f"{name:<12}{base[name]:>10.1f}{fresh[name]:>10.1f}"
+              f"{norm:>8.2f}{mark}")
+
+    if failed:
+        print(f"FAIL: {', '.join(failed)} regressed more than "
+              f"{args.max_regression:.0%} vs the committed baseline")
+        return 1
+    print("OK: no config regressed past the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Counting global operator new/delete interposer for allocation
+ * regression tests.
+ *
+ * Including this header replaces the global allocation functions with
+ * versions that count every successful allocation while an AllocGuard
+ * is alive. The replacements are non-inline definitions, so the
+ * header must be included from EXACTLY ONE translation unit per test
+ * binary (a second inclusion fails the link with duplicate symbols —
+ * deliberately).
+ *
+ * Only allocations are counted, not frees: the steady-state property
+ * under test is "the scheduler performs no heap allocation", and
+ * tearing down inputs that were built before the guard started is
+ * legitimate.
+ */
+
+#ifndef TREEGION_TESTS_ALLOC_GUARD_H
+#define TREEGION_TESTS_ALLOC_GUARD_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace tg_test {
+
+inline std::atomic<uint64_t> g_allocations{0};
+inline std::atomic<bool> g_counting{false};
+
+/** RAII window during which global allocations are counted. */
+class AllocGuard
+{
+  public:
+    AllocGuard()
+        : start_(g_allocations.load(std::memory_order_relaxed))
+    {
+        g_counting.store(true, std::memory_order_relaxed);
+    }
+
+    ~AllocGuard()
+    {
+        g_counting.store(false, std::memory_order_relaxed);
+    }
+
+    AllocGuard(const AllocGuard &) = delete;
+    AllocGuard &operator=(const AllocGuard &) = delete;
+
+    /** Allocations since construction (read before destruction). */
+    uint64_t
+    allocations() const
+    {
+        return g_allocations.load(std::memory_order_relaxed) - start_;
+    }
+
+  private:
+    uint64_t start_;
+};
+
+inline void *
+countedAlloc(std::size_t size, std::size_t align) noexcept
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    if (align > alignof(std::max_align_t)) {
+        const std::size_t rounded = (size + align - 1) / align * align;
+        return std::aligned_alloc(align, rounded);
+    }
+    return std::malloc(size);
+}
+
+} // namespace tg_test
+
+// Replaceable global allocation functions (non-inline by rule; see
+// file comment for the single-inclusion requirement).
+
+void *
+operator new(std::size_t size)
+{
+    void *p = tg_test::countedAlloc(size, alignof(std::max_align_t));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = tg_test::countedAlloc(size, alignof(std::max_align_t));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p =
+        tg_test::countedAlloc(size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p =
+        tg_test::countedAlloc(size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return tg_test::countedAlloc(size, alignof(std::max_align_t));
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return tg_test::countedAlloc(size, alignof(std::max_align_t));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+#endif // TREEGION_TESTS_ALLOC_GUARD_H

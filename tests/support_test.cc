@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "support/arena.h"
 #include "support/bitvector.h"
 #include "support/metrics.h"
 #include "support/rng.h"
@@ -372,6 +376,311 @@ TEST(Table, AlignsAndCounts)
     std::ostringstream csv;
     t.printCsv(csv);
     EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Arena
+
+TEST(Arena, AllocatesAlignedAndTracksUsage)
+{
+    Arena arena(64);
+    auto *a = arena.allocArray<int32_t>(4);
+    auto *b = arena.allocZeroed<int64_t>(3);
+    auto *c = arena.allocFilled<int32_t>(2, -7);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(int32_t), 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(int64_t), 0u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(b[i], 0);
+    EXPECT_EQ(c[0], -7);
+    EXPECT_EQ(c[1], -7);
+    EXPECT_GE(arena.used(), 4 * sizeof(int32_t) + 3 * sizeof(int64_t) +
+                                2 * sizeof(int32_t));
+    EXPECT_GE(arena.capacity(), arena.used());
+}
+
+TEST(Arena, ResetRetainsBlocksAndRecordsHighWater)
+{
+    Arena arena(128);
+    (void)arena.allocArray<char>(4000);  // forces growth
+    const size_t used_first = arena.used();
+    const size_t cap_first = arena.capacity();
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    EXPECT_GE(arena.highWater(), used_first);
+    // Replaying the same allocation reuses retained blocks: capacity
+    // must not grow.
+    (void)arena.allocArray<char>(4000);
+    EXPECT_EQ(arena.capacity(), cap_first);
+}
+
+TEST(Arena, VectorGrowsAndTruncates)
+{
+    Arena arena;
+    ArenaVector<uint32_t> v(arena);
+    for (uint32_t i = 0; i < 100; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 100u);
+    for (uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(v[i], i);
+    v.resize(10);
+    EXPECT_EQ(v.size(), 10u);
+    v.resize(12, 7u);
+    EXPECT_EQ(v.size(), 12u);
+    EXPECT_EQ(v[9], 9u);
+    EXPECT_EQ(v[11], 7u);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+}
+
+// ---------------------------------------------------------------------
+// Bench JSON schema (BENCH_scheduler.json / throughput_scheduler
+// --json). The schema is part of the repo's perf-tracking contract:
+// CI's perf-smoke job and humans appending entries both rely on these
+// exact keys, units and config names. Changing any of them requires a
+// version bump of the "schema" tag.
+
+/** Minimal JSON value (enough for the bench schema). */
+struct Json
+{
+    enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    const Json &
+    operator[](const std::string &key) const
+    {
+        static const Json null;
+        auto it = obj.find(key);
+        return it == obj.end() ? null : it->second;
+    }
+};
+
+/** Tiny recursive-descent JSON parser (asserts on malformed input). */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        const Json v = value();
+        skipWs();
+        EXPECT_EQ(pos_, text_.size()) << "trailing garbage";
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        EXPECT_EQ(peek(), c);
+        ++pos_;
+    }
+
+    Json
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': {
+            Json v;
+            v.kind = Json::Kind::Str;
+            v.str = string();
+            return v;
+          }
+          case 't':
+          case 'f': {
+            Json v;
+            v.kind = Json::Kind::Bool;
+            v.b = text_[pos_] == 't';
+            pos_ += v.b ? 4 : 5;
+            return v;
+          }
+          default: return number();
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            EXPECT_NE(text_[pos_], '\\') << "escapes not in schema";
+            out += text_[pos_++];
+        }
+        expect('"');
+        return out;
+    }
+
+    Json
+    number()
+    {
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                strchr("+-.eE", text_[pos_])))
+            ++pos_;
+        Json v;
+        v.kind = Json::Kind::Num;
+        EXPECT_GT(pos_, start) << "expected a number";
+        v.num = std::strtod(text_.c_str() + start, nullptr);
+        return v;
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Kind::Arr;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Kind::Obj;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            const std::string key = string();
+            expect(':');
+            v.obj.emplace(key, value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+Json
+loadBenchHistory()
+{
+    std::ifstream in(TREEGION_BENCH_JSON);
+    EXPECT_TRUE(in.good()) << "missing " << TREEGION_BENCH_JSON;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return JsonParser(ss.str()).parse();
+}
+
+/** The config names throughput_scheduler emits, in emission order. */
+const char *const kBenchConfigNames[] = {
+    "bb/4U",   "slr/4U",  "sb/4U",      "tree/1U",
+    "tree/4U", "tree/8U", "tree-td/4U", "hyper/4U",
+};
+
+TEST(BenchSchema, HistoryIsArrayOfV1Entries)
+{
+    const Json hist = loadBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    ASSERT_FALSE(hist.arr.empty());
+    for (const Json &entry : hist.arr) {
+        ASSERT_EQ(entry.kind, Json::Kind::Obj);
+        EXPECT_EQ(entry["schema"].str, "treegion-sched-bench/v1");
+        EXPECT_EQ(entry["label"].kind, Json::Kind::Str);
+        EXPECT_FALSE(entry["label"].str.empty());
+        EXPECT_EQ(entry["bench_seed"].kind, Json::Kind::Num);
+        EXPECT_EQ(entry["threads"].num, 1.0) << "single-thread bench";
+        const Json &workload = entry["workload"];
+        ASSERT_EQ(workload.kind, Json::Kind::Obj);
+        EXPECT_EQ(workload["name"].str, "specint95-proxies");
+        EXPECT_GT(workload["functions"].num, 0.0);
+        EXPECT_GT(workload["ops_per_sweep"].num, 0.0);
+    }
+}
+
+TEST(BenchSchema, ConfigNamesAndUnitsArePinned)
+{
+    const Json hist = loadBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    for (const Json &entry : hist.arr) {
+        const Json &configs = entry["configs"];
+        ASSERT_EQ(configs.kind, Json::Kind::Arr);
+        ASSERT_EQ(configs.arr.size(), std::size(kBenchConfigNames));
+        const double functions = entry["workload"]["functions"].num;
+        const double ops_sweep = entry["workload"]["ops_per_sweep"].num;
+        for (size_t i = 0; i < configs.arr.size(); ++i) {
+            const Json &c = configs.arr[i];
+            EXPECT_EQ(c["name"].str, kBenchConfigNames[i]);
+            // Units: compiles = whole-function pipeline runs, sweeps =
+            // passes over the workload set, rates are per wall-clock
+            // second. All self-consistent within float rounding.
+            const double sweeps = c["sweeps"].num;
+            const double compiles = c["compiles"].num;
+            const double wall_s = c["wall_s"].num;
+            EXPECT_GT(sweeps, 0.0);
+            EXPECT_GT(wall_s, 0.0);
+            EXPECT_EQ(compiles, sweeps * functions);
+            EXPECT_NEAR(c["compiles_per_s"].num, compiles / wall_s,
+                        0.01 * compiles / wall_s);
+            EXPECT_NEAR(c["ops_per_s"].num, sweeps * ops_sweep / wall_s,
+                        0.01 * sweeps * ops_sweep / wall_s);
+        }
+    }
+}
+
+TEST(BenchSchema, EntriesShareTheSeededWorkload)
+{
+    // Before/after comparisons (CI perf-smoke, the 2x acceptance bar)
+    // only make sense when every entry measured the same programs:
+    // same bench seed implies identical function count and op count.
+    const Json hist = loadBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    ASSERT_FALSE(hist.arr.empty());
+    const Json &first = hist.arr.front();
+    for (const Json &entry : hist.arr) {
+        if (entry["bench_seed"].num != first["bench_seed"].num)
+            continue;
+        EXPECT_EQ(entry["workload"]["functions"].num,
+                  first["workload"]["functions"].num);
+        EXPECT_EQ(entry["workload"]["ops_per_sweep"].num,
+                  first["workload"]["ops_per_sweep"].num);
+    }
 }
 
 } // namespace
