@@ -1,8 +1,16 @@
 #!/usr/bin/env python3
-"""Compare a fresh throughput_scheduler --json run against the last
-committed BENCH_scheduler.json entry (CI perf-smoke gate).
+"""Compare a fresh bench --json run against the last committed
+baseline entry (CI perf-smoke gate).
+
+Defaults gate the scheduler bench (BENCH_scheduler.json, metric
+compiles_per_s). The cluster bench reuses the same machinery:
+
+    perf_compare.py fresh_cluster.json --history BENCH_cluster.json
+        --schema treegion-cluster-bench/v1 --metric reqs_per_s
+        --max-regression 0.30
 
 Usage: perf_compare.py FRESH_JSON [--history BENCH_scheduler.json]
+                       [--schema SCHEMA] [--metric FIELD]
                        [--max-regression 0.20]
 
 Absolute compiles/s depends on the machine, so per-config ratios are
@@ -22,13 +30,17 @@ import json
 import statistics
 import sys
 
-SCHEMA = "treegion-sched-bench/v1"
+DEFAULT_SCHEMA = "treegion-sched-bench/v1"
+DEFAULT_METRIC = "compiles_per_s"
 
 
-def load_entry(obj, what):
-    if obj.get("schema") != SCHEMA:
-        sys.exit(f"error: {what}: schema {obj.get('schema')!r} != {SCHEMA!r}")
-    configs = {c["name"]: c["compiles_per_s"] for c in obj["configs"]}
+def load_entry(obj, what, schema, metric):
+    if obj.get("schema") != schema:
+        sys.exit(f"error: {what}: schema {obj.get('schema')!r} != {schema!r}")
+    try:
+        configs = {c["name"]: c[metric] for c in obj["configs"]}
+    except KeyError as e:
+        sys.exit(f"error: {what}: config missing field {e}")
     if not configs:
         sys.exit(f"error: {what}: no configs")
     return configs
@@ -38,19 +50,27 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh", help="JSON file written by --json")
     ap.add_argument("--history", default="BENCH_scheduler.json")
+    ap.add_argument("--schema", default=DEFAULT_SCHEMA,
+                    help="required schema tag in both files "
+                         f"(default {DEFAULT_SCHEMA})")
+    ap.add_argument("--metric", default=DEFAULT_METRIC,
+                    help="per-config throughput field to compare "
+                         f"(default {DEFAULT_METRIC})")
     ap.add_argument("--max-regression", type=float, default=0.20,
                     help="fail when a normalized ratio drops more than "
                          "this fraction below 1.0 (default 0.20)")
     args = ap.parse_args()
 
     with open(args.fresh) as f:
-        fresh = load_entry(json.load(f), args.fresh)
+        fresh = load_entry(json.load(f), args.fresh,
+                           args.schema, args.metric)
     with open(args.history) as f:
         history = json.load(f)
     if not isinstance(history, list) or not history:
         sys.exit(f"error: {args.history} must be a non-empty array")
     base_entry = history[-1]
-    base = load_entry(base_entry, f"{args.history}[-1]")
+    base = load_entry(base_entry, f"{args.history}[-1]",
+                      args.schema, args.metric)
 
     if set(fresh) != set(base):
         sys.exit(f"error: config mismatch: fresh {sorted(fresh)} vs "

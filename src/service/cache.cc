@@ -17,6 +17,30 @@ CacheKey::str() const
                               static_cast<unsigned long long>(lo));
 }
 
+bool
+parseCacheKeyHex(const std::string &hex, CacheKey *out)
+{
+    if (hex.size() != 32)
+        return false;
+    uint64_t words[2] = {0, 0};
+    for (size_t i = 0; i < 32; ++i) {
+        const char c = hex[i];
+        uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint64_t>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<uint64_t>(c - 'A') + 10;
+        else
+            return false;
+        words[i / 16] = (words[i / 16] << 4) | digit;
+    }
+    out->hi = words[0];
+    out->lo = words[1];
+    return true;
+}
+
 std::string
 canonicalFunctionText(const ir::Function &fn)
 {

@@ -59,6 +59,13 @@ struct CacheKey
 };
 
 /**
+ * Parse the 32-hex-digit rendering CacheKey::str() produces (the
+ * wire form of the fill verb's fill-key header).
+ * @return false when @p hex is not exactly 32 hex digits.
+ */
+bool parseCacheKeyHex(const std::string &hex, CacheKey *out);
+
+/**
  * @return @p fn printed in canonical textual form (the printer's
  * output, which print->parse->print fixes). This is the function
  * half of every cache key.

@@ -219,6 +219,8 @@ encodeRequest(const Request &req)
 {
     std::ostringstream os;
     os << kRequestMagic << '\n' << "verb: " << req.verb << '\n';
+    if (!req.fill_key.empty())
+        os << "fill-key: " << req.fill_key << '\n';
     if (!req.options.empty())
         os << "options: " << req.options << '\n';
     if (!req.function.empty())
@@ -252,6 +254,8 @@ parseRequest(const std::string &payload, Request &out,
     for (const auto &[key, value] : headers) {
         if (key == "verb")
             out.verb = value;
+        else if (key == "fill-key")
+            out.fill_key = value;
         else if (key == "options")
             out.options = value;
         else if (key == "function")
@@ -271,7 +275,7 @@ parseRequest(const std::string &payload, Request &out,
         // Unknown keys are ignored for forward compatibility.
     }
     if (out.verb != "compile" && out.verb != "stats" &&
-        out.verb != "ping") {
+        out.verb != "ping" && out.verb != "fill") {
         if (error)
             *error = "unknown verb '" + out.verb + "'";
         return false;

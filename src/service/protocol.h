@@ -64,7 +64,14 @@ bool writeFrame(int fd, const std::string &payload,
 /** A compile-service request. */
 struct Request
 {
-    std::string verb = "compile";  ///< "compile" | "stats" | "ping"
+    /** "compile" | "stats" | "ping" | "fill" (peer cache-fill). */
+    std::string verb = "compile";
+    /**
+     * Cache key (CacheKey::str() hex) a "fill" carries: the body is
+     * the compiled result a peer replica produced for a key this
+     * replica owns on the cluster ring, offered for insertion.
+     */
+    std::string fill_key;
     /** encodePipelineOptions() line; empty = server defaults. */
     std::string options;
     /** Function to compile; empty = the module's first function. */

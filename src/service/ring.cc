@@ -1,0 +1,224 @@
+#include "service/ring.h"
+
+#include <algorithm>
+
+#include "ir/parser.h"
+#include "support/hash.h"
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace treegion::service {
+
+namespace {
+
+/**
+ * splitmix64 finalizer. FNV alone spreads poorly over the short,
+ * near-identical "addr#index" labels virtual nodes produce — arcs
+ * end up lumpy enough that one member can own 1.7x its fair share.
+ * A full-avalanche mix on top restores balance (see the shard-ratio
+ * bound in tests/cluster_test.cc).
+ */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+HashRing::HashRing(std::vector<std::string> members,
+                   size_t virtual_nodes)
+    : members_(std::move(members))
+{
+    points_.reserve(members_.size() * virtual_nodes);
+    for (uint32_t m = 0; m < members_.size(); ++m) {
+        const uint64_t base = support::fnv1a64(members_[m]);
+        for (size_t v = 0; v < virtual_nodes; ++v)
+            points_.emplace_back(mix64(base + v), m);
+    }
+    std::sort(points_.begin(), points_.end());
+}
+
+uint64_t
+HashRing::keyPoint(const CacheKey &key)
+{
+    // The key halves are already independent FNV streams; fold them
+    // so both contribute to the ring position.
+    return key.hi ^ (key.lo * 0x9e3779b97f4a7c15ull);
+}
+
+size_t
+HashRing::ownerIndex(const CacheKey &key) const
+{
+    TG_ASSERT(!points_.empty());
+    const uint64_t point = keyPoint(key);
+    // First ring point at or after the key's point, wrapping.
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(),
+        std::make_pair(point, uint32_t{0}),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    if (it == points_.end())
+        it = points_.begin();
+    return it->second;
+}
+
+const std::string &
+HashRing::owner(const CacheKey &key) const
+{
+    return members_[ownerIndex(key)];
+}
+
+CacheKey
+requestRoutingKey(const Request &req)
+{
+    std::string error;
+    if (std::unique_ptr<ir::Module> mod =
+            ir::parseModule(req.module_text, &error)) {
+        const ir::Function *fn = nullptr;
+        if (req.function.empty()) {
+            if (!mod->functions().empty())
+                fn = mod->functions().front().get();
+        } else if (mod->hasFunction(req.function)) {
+            fn = &mod->function(req.function);
+        }
+        if (fn) {
+            return makeCacheKey(canonicalFunctionText(*fn),
+                                req.configFingerprint());
+        }
+    }
+    return makeCacheKey(req.module_text, req.configFingerprint());
+}
+
+ClusterClient::ClusterClient(std::vector<std::string> members)
+    : members_(std::move(members)), alive_(members_.size(), true)
+{
+    TG_ASSERT(!members_.empty());
+    rebuildRing();
+}
+
+void
+ClusterClient::rebuildRing()
+{
+    std::vector<std::string> alive;
+    for (size_t i = 0; i < members_.size(); ++i) {
+        if (alive_[i])
+            alive.push_back(members_[i]);
+    }
+    ring_ = HashRing(std::move(alive));
+}
+
+void
+ClusterClient::markDead(size_t index)
+{
+    alive_[index] = false;
+    conns_.erase(members_[index]);
+    rebuildRing();
+}
+
+std::vector<std::string>
+ClusterClient::aliveMembers() const
+{
+    return ring_.members();
+}
+
+bool
+ClusterClient::call(const Request &req, Response *resp,
+                    std::string *error)
+{
+    const bool by_key = req.verb == "compile" || req.verb == "fill";
+    return callRouted(by_key ? requestRoutingKey(req) : CacheKey{},
+                      by_key, req, resp, error);
+}
+
+bool
+ClusterClient::callWithKey(const CacheKey &key, const Request &req,
+                           Response *resp, std::string *error)
+{
+    return callRouted(key, /*by_key=*/true, req, resp, error);
+}
+
+bool
+ClusterClient::callRouted(const CacheKey &key, bool by_key,
+                          const Request &req, Response *resp,
+                          std::string *error)
+{
+    // Each retry routes on the ring of survivors, so a request can
+    // visit at most one member per death — bounded by cluster size.
+    std::string last_error = "no cluster member reachable";
+    while (!ring_.empty()) {
+        const std::string &addr =
+            by_key ? ring_.owner(key) : ring_.members().front();
+        const size_t index = static_cast<size_t>(
+            std::find(members_.begin(), members_.end(), addr) -
+            members_.begin());
+
+        auto it = conns_.find(addr);
+        if (it == conns_.end()) {
+            std::string connect_error;
+            auto conn = Client::connect(addr, &connect_error);
+            if (!conn) {
+                last_error = addr + ": " + connect_error;
+                markDead(index);
+                continue;
+            }
+            conn->max_frame_bytes = max_frame_bytes;
+            it = conns_.emplace(addr, std::move(conn)).first;
+        }
+
+        std::string call_error;
+        if (!it->second->call(req, resp, &call_error)) {
+            // A pooled connection may have died since the last call;
+            // the member itself gets one fresh-connection retry
+            // before it is declared dead.
+            ledger_[addr].transport_errors += 1;
+            conns_.erase(addr);
+            std::string reconnect_error;
+            auto conn = Client::connect(addr, &reconnect_error);
+            if (conn) {
+                conn->max_frame_bytes = max_frame_bytes;
+                const bool ok = conn->call(req, resp, &call_error);
+                if (ok) {
+                    conns_.emplace(addr, std::move(conn));
+                } else {
+                    ledger_[addr].transport_errors += 1;
+                }
+                if (!ok) {
+                    last_error = addr + ": " + call_error;
+                    markDead(index);
+                    continue;
+                }
+            } else {
+                last_error = addr + ": " + reconnect_error;
+                markDead(index);
+                continue;
+            }
+        }
+
+        if (resp->status == status::kShuttingDown) {
+            // A draining replica is leaving: reroute like a death.
+            // The ledger still records the observed response.
+            MemberLedger &led = ledger_[addr];
+            led.calls += 1;
+            markDead(index);
+            continue;
+        }
+
+        MemberLedger &led = ledger_[addr];
+        led.calls += 1;
+        if (resp->status == status::kOk) {
+            led.ok += 1;
+            if (resp->cached)
+                led.cached += 1;
+        }
+        last_member_ = addr;
+        return true;
+    }
+    if (error)
+        *error = last_error;
+    return false;
+}
+
+} // namespace treegion::service

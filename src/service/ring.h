@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Consistent-hash routing for the treegiond compile farm.
+ *
+ * A HashRing places every cluster member at kVirtualNodes points on
+ * a 64-bit ring (one FNV-1a hash per (member, replica-index) pair);
+ * a cache key is owned by the member whose point follows the key's
+ * point clockwise. Virtual nodes smooth the shard sizes (the
+ * max/min load ratio over a large key population stays near 1, see
+ * tests/cluster_test.cc), and membership changes only remap the keys
+ * adjacent to the departed/arrived member's points — about 1/N of
+ * the key space — so a replica join or crash does not invalidate the
+ * surviving replicas' caches.
+ *
+ * ClusterClient is the client half: it routes each compile request
+ * to the replica that owns the request's cache key (computed
+ * client-side from the same canonical function text + configuration
+ * fingerprint the server hashes), keeps one pooled connection per
+ * member, and fails over — a member whose transport dies or that
+ * answers "shutting-down" is marked dead, the ring is rebuilt over
+ * the survivors, and the request is retried on its new owner. Every
+ * observed response is tallied in a per-member ledger so tests and
+ * CI can reconcile client-observed totals against each replica's
+ * /stats counters exactly.
+ */
+
+#ifndef TREEGION_SERVICE_RING_H
+#define TREEGION_SERVICE_RING_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/protocol.h"
+
+namespace treegion::service {
+
+/** Consistent-hash ring over cluster member addresses. */
+class HashRing
+{
+  public:
+    /** Virtual nodes per member (smooths shard sizes). */
+    static constexpr size_t kVirtualNodes = 128;
+
+    HashRing() = default;
+
+    /**
+     * Build a ring over @p members (order does not matter: points
+     * depend only on the address strings, so every client and every
+     * replica that knows the same membership agrees on ownership).
+     */
+    explicit HashRing(std::vector<std::string> members,
+                      size_t virtual_nodes = kVirtualNodes);
+
+    /** @return the member addresses this ring was built over. */
+    const std::vector<std::string> &members() const
+    {
+        return members_;
+    }
+
+    /** @return number of members. */
+    size_t size() const { return members_.size(); }
+
+    bool empty() const { return members_.empty(); }
+
+    /** @return the index (into members()) of @p key's owner. */
+    size_t ownerIndex(const CacheKey &key) const;
+
+    /** @return the address of @p key's owner. */
+    const std::string &owner(const CacheKey &key) const;
+
+    /** @return the ring point of @p key (for tests/debugging). */
+    static uint64_t keyPoint(const CacheKey &key);
+
+  private:
+    std::vector<std::string> members_;
+    /** Sorted (ring point, member index) pairs. */
+    std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+/**
+ * @return the cache key @p req will be stored under server-side:
+ * canonical text of the requested function plus the configuration
+ * fingerprint. Unparseable modules hash the raw text instead — any
+ * deterministic route works, the owner will answer the error.
+ */
+CacheKey requestRoutingKey(const Request &req);
+
+/** A cluster-aware client: routes by key, fails over on death. */
+class ClusterClient
+{
+  public:
+    /** Client-observed per-member tallies (for ledger checks). */
+    struct MemberLedger
+    {
+        uint64_t calls = 0;      ///< responses received
+        uint64_t ok = 0;         ///< status "ok"
+        uint64_t cached = 0;     ///< ok with cached=1
+        uint64_t transport_errors = 0;  ///< failed sends/reads
+    };
+
+    explicit ClusterClient(std::vector<std::string> members);
+
+    /**
+     * Route @p req to its owning replica and block for the response.
+     * Compile and fill requests route by cache key; other verbs go
+     * to the first live member. On a transport failure or a
+     * "shutting-down" answer the member is marked dead and the
+     * request retried on the ring of survivors.
+     * @return false and set @p error only when no replica is left.
+     */
+    bool call(const Request &req, Response *resp, std::string *error);
+
+    /**
+     * Like call(), with the routing key supplied by the caller —
+     * for hot loops that reuse a request and do not want the module
+     * re-parsed per call (requestRoutingKey is pure, so a cached
+     * value stays valid).
+     */
+    bool callWithKey(const CacheKey &key, const Request &req,
+                     Response *resp, std::string *error);
+
+    /** @return the member that served the last successful call. */
+    const std::string &lastMember() const { return last_member_; }
+
+    /** @return members still considered alive. */
+    std::vector<std::string> aliveMembers() const;
+
+    /** @return the client-observed ledger, keyed by address. */
+    const std::map<std::string, MemberLedger> &ledger() const
+    {
+        return ledger_;
+    }
+
+    /** Frame size limit applied to responses. */
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  private:
+    bool callRouted(const CacheKey &key, bool by_key,
+                    const Request &req, Response *resp,
+                    std::string *error);
+    void markDead(size_t index);
+    void rebuildRing();
+
+    std::vector<std::string> members_;
+    std::vector<bool> alive_;
+    HashRing ring_;  ///< over the alive members only
+    /** Pooled connection per member address. */
+    std::map<std::string, std::unique_ptr<Client>> conns_;
+    std::map<std::string, MemberLedger> ledger_;
+    std::string last_member_;
+};
+
+} // namespace treegion::service
+
+#endif // TREEGION_SERVICE_RING_H

@@ -9,8 +9,9 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -29,6 +30,15 @@
 namespace treegion::service {
 
 namespace {
+
+/** epoll identities of the non-connection fds. */
+constexpr uint64_t kUnixTag = 1;
+constexpr uint64_t kTcpTag = 2;
+constexpr uint64_t kStopTag = 3;
+constexpr uint64_t kWakeTag = 4;
+
+/** Most an oversized frame is drained before giving up (64 MiB). */
+constexpr size_t kMaxDrainBytes = 64u << 20;
 
 int64_t
 nowMs()
@@ -54,6 +64,23 @@ statusCounterName(const std::string &status)
     std::string name = "requests_" + status;
     std::replace(name.begin(), name.end(), '-', '_');
     return name;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** Empty a self-pipe (level-triggered epoll would re-fire). */
+void
+drainPipe(int fd)
+{
+    char buf[64];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
 }
 
 /**
@@ -147,7 +174,9 @@ Server::start(std::string *error)
             ::close(unix_fd_);
         if (tcp_fd_ >= 0)
             ::close(tcp_fd_);
-        unix_fd_ = tcp_fd_ = -1;
+        if (epoll_fd_ >= 0)
+            ::close(epoll_fd_);
+        unix_fd_ = tcp_fd_ = epoll_fd_ = -1;
         return false;
     };
 
@@ -157,6 +186,27 @@ Server::start(std::string *error)
             *error = "no listener configured (need a unix path or a "
                      "tcp port)";
         return false;
+    }
+
+    if (!options_.peers.empty()) {
+        const auto self = std::find(options_.peers.begin(),
+                                    options_.peers.end(),
+                                    options_.self_address);
+        if (options_.self_address.empty() ||
+            self == options_.peers.end()) {
+            if (error)
+                *error = "cluster self address '" +
+                         options_.self_address +
+                         "' is not in the peer list";
+            return false;
+        }
+        self_index_ = static_cast<size_t>(
+            self - options_.peers.begin());
+        cluster_ = HashRing(options_.peers);
+        peer_dead_ = std::make_unique<std::atomic<bool>[]>(
+            options_.peers.size());
+        for (size_t i = 0; i < options_.peers.size(); ++i)
+            peer_dead_[i].store(false);
     }
 
     if (!options_.unix_path.empty()) {
@@ -179,6 +229,8 @@ Server::start(std::string *error)
             return fail("bind(" + options_.unix_path + ")");
         if (::listen(unix_fd_, 64) != 0)
             return fail("listen(unix)");
+        if (!setNonBlocking(unix_fd_))
+            return fail("nonblock(unix)");
     }
 
     if (options_.tcp_port >= 0) {
@@ -204,6 +256,8 @@ Server::start(std::string *error)
                                            options_.tcp_port));
         if (::listen(tcp_fd_, 64) != 0)
             return fail("listen(tcp)");
+        if (!setNonBlocking(tcp_fd_))
+            return fail("nonblock(tcp)");
         sockaddr_in bound{};
         socklen_t len = sizeof(bound);
         if (::getsockname(tcp_fd_,
@@ -213,14 +267,36 @@ Server::start(std::string *error)
     }
 
     if (::pipe(stop_pipe_) != 0)
-        return fail("pipe");
+        return fail("pipe(stop)");
+    if (::pipe(wake_pipe_) != 0)
+        return fail("pipe(wake)");
+    setNonBlocking(stop_pipe_[0]);
+    setNonBlocking(wake_pipe_[0]);
+    setNonBlocking(wake_pipe_[1]);
+
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0)
+        return fail("epoll_create1");
+    auto watch = [&](int fd, uint64_t tag) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = tag;
+        return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+    };
+    if (unix_fd_ >= 0 && !watch(unix_fd_, kUnixTag))
+        return fail("epoll_ctl(unix)");
+    if (tcp_fd_ >= 0 && !watch(tcp_fd_, kTcpTag))
+        return fail("epoll_ctl(tcp)");
+    if (!watch(stop_pipe_[0], kStopTag) ||
+        !watch(wake_pipe_[0], kWakeTag))
+        return fail("epoll_ctl(pipe)");
 
     if (!options_.trace_path.empty())
         support::TraceCollector::instance().setEnabled(true);
 
     pool_ = std::make_unique<support::ThreadPool>(options_.threads);
     started_.store(true);
-    accept_thread_ = std::thread([this] { acceptLoop(); });
+    loop_thread_ = std::thread([this] { eventLoop(); });
     return true;
 }
 
@@ -236,176 +312,411 @@ Server::requestStop()
     }
 }
 
-void
-Server::acceptLoop()
+bool
+Server::shouldExitLoop() const
 {
-    while (!stopping_.load()) {
-        pollfd fds[3];
-        nfds_t nfds = 0;
-        int unix_slot = -1, tcp_slot = -1;
+    if (!hard_stop_.load())
+        return false;
+    if (!conns_.empty() || jobs_inflight_.load() != 0)
+        return false;
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex &>(completions_mutex_));
+    return completions_.empty();
+}
+
+void
+Server::eventLoop()
+{
+    bool listeners_open = true;
+    bool hard_draining = false;
+
+    auto closeListeners = [&] {
+        if (!listeners_open)
+            return;
+        listeners_open = false;
         if (unix_fd_ >= 0) {
-            unix_slot = static_cast<int>(nfds);
-            fds[nfds++] = {unix_fd_, POLLIN, 0};
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, unix_fd_, nullptr);
+            ::close(unix_fd_);
+            ::unlink(options_.unix_path.c_str());
+            unix_fd_ = -1;
         }
         if (tcp_fd_ >= 0) {
-            tcp_slot = static_cast<int>(nfds);
-            fds[nfds++] = {tcp_fd_, POLLIN, 0};
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, tcp_fd_, nullptr);
+            ::close(tcp_fd_);
+            tcp_fd_ = -1;
         }
-        fds[nfds++] = {stop_pipe_[0], POLLIN, 0};
+    };
 
-        if (::poll(fds, nfds, -1) < 0) {
+    while (!shouldExitLoop()) {
+        epoll_event events[64];
+        const int n =
+            ::epoll_wait(epoll_fd_, events, 64, /*timeout=*/-1);
+        if (n < 0) {
             if (errno == EINTR)
                 continue;
             break;
         }
-        if (fds[nfds - 1].revents & POLLIN)
-            break;  // stop byte
-
-        for (const int slot : {unix_slot, tcp_slot}) {
-            if (slot < 0 || !(fds[slot].revents & POLLIN))
-                continue;
-            const int listener =
-                slot == unix_slot ? unix_fd_ : tcp_fd_;
-            const int fd = ::accept(listener, nullptr, nullptr);
-            if (fd < 0)
-                continue;
-
-            std::lock_guard<std::mutex> lock(conn_mutex_);
-            // Reap finished connection threads so a long-lived
-            // server doesn't accumulate them.
-            for (auto it = connections_.begin();
-                 it != connections_.end();) {
-                if (it->done.load() && it->thread.joinable()) {
-                    it->thread.join();
-                    it = connections_.erase(it);
-                } else {
-                    ++it;
-                }
+        for (int i = 0; i < n; ++i) {
+            const uint64_t tag = events[i].data.u64;
+            if (tag == kStopTag) {
+                drainPipe(stop_pipe_[0]);
+                continue;  // stopping_ is handled below
             }
-            if (connections_.size() >= options_.max_connections) {
-                metrics_.add("connections_rejected");
-                Response resp = makeError(status::kRejected,
-                                          "too many connections");
-                resp.retry_after_ms = retryAfterHintMs();
-                std::string err;
-                writeFrame(fd, encodeResponse(resp), &err);
-                ::close(fd);
+            if (tag == kWakeTag) {
+                drainPipe(wake_pipe_[0]);
+                drainCompletions();
                 continue;
             }
-            metrics_.add("connections_accepted");
-            connections_.emplace_back();
-            Connection *conn = &connections_.back();
-            conn->fd = fd;
-            conn->thread =
-                std::thread([this, conn] { serveConnection(conn); });
+            if (tag == kUnixTag || tag == kTcpTag) {
+                if (listeners_open)
+                    acceptPending(tag == kUnixTag ? unix_fd_
+                                                  : tcp_fd_);
+                continue;
+            }
+            // A connection. It may have been closed by an earlier
+            // event in this batch — look it up fresh per action.
+            if (events[i].events & EPOLLOUT) {
+                auto it = conns_.find(tag);
+                if (it != conns_.end())
+                    onWritable(*it->second);
+            }
+            if (events[i].events &
+                (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+                auto it = conns_.find(tag);
+                if (it != conns_.end())
+                    onReadable(*it->second);
+            }
+        }
+
+        if (stopping_.load())
+            closeListeners();
+        if (hard_stop_.load() && !hard_draining) {
+            hard_draining = true;
+            // Stop reading: in-flight work still finishes and every
+            // finished response is flushed before its connection
+            // closes (the write side stays open, as the threaded
+            // server's SHUT_RD drain did).
+            std::vector<uint64_t> ids;
+            ids.reserve(conns_.size());
+            for (const auto &[id, conn] : conns_)
+                ids.push_back(id);
+            for (const uint64_t id : ids) {
+                auto it = conns_.find(id);
+                if (it == conns_.end())
+                    continue;
+                Conn &conn = *it->second;
+                ::shutdown(conn.fd, SHUT_RD);
+                conn.read_eof = true;
+                conn.in.clear();
+                conn.want_close = true;
+                if (conn.inflight == 0 && conn.done.empty() &&
+                    conn.out_off >= conn.out.size())
+                    closeConn(conn);
+            }
         }
     }
 
-    if (unix_fd_ >= 0) {
-        ::close(unix_fd_);
-        ::unlink(options_.unix_path.c_str());
-        unix_fd_ = -1;
-    }
-    if (tcp_fd_ >= 0) {
-        ::close(tcp_fd_);
-        tcp_fd_ = -1;
+    closeListeners();
+    // Anything still registered (e.g. the loop broke on an epoll
+    // error) is closed so fds never leak.
+    std::vector<uint64_t> ids;
+    for (const auto &[id, conn] : conns_)
+        ids.push_back(id);
+    for (const uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it != conns_.end())
+            closeConn(*it->second);
     }
 }
 
 void
-Server::serveConnection(Connection *conn)
+Server::acceptPending(int listener_fd)
 {
-    const int fd = conn->fd;
     for (;;) {
-        std::string payload, detail, http_target;
-        const FrameStatus st =
-            readFrame(fd, &payload, options_.max_frame_bytes, &detail,
-                      &http_target);
-        if (st == FrameStatus::Closed || st == FrameStatus::Error)
-            break;
+        const int fd = ::accept(listener_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // EAGAIN or a transient error: epoll re-fires
+        }
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
 
-        if (st == FrameStatus::Http) {
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->id = next_conn_id_++;
+
+        if (counted_conns_ >= options_.max_connections) {
+            metrics_.add("connections_rejected");
+            conn->counted = false;
+            conn->want_close = true;
+            Response resp = makeError(status::kRejected,
+                                      "too many connections");
+            resp.retry_after_ms = retryAfterHintMs();
+            Conn &ref = *conn;
+            conns_.emplace(ref.id, std::move(conn));
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.u64 = ref.id;
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+            queueResponse(ref, ref.next_seq++, resp);
+            continue;
+        }
+
+        metrics_.add("connections_accepted");
+        ++counted_conns_;
+        Conn &ref = *conn;
+        conns_.emplace(ref.id, std::move(conn));
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = ref.id;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+}
+
+void
+Server::closeConn(Conn &conn)
+{
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    if (conn.counted)
+        --counted_conns_;
+    conns_.erase(conn.id);  // destroys conn
+}
+
+void
+Server::updateEpollOut(Conn &conn)
+{
+    const bool want = conn.out_off < conn.out.size();
+    if (want == conn.epollout)
+        return;
+    conn.epollout = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void
+Server::onReadable(Conn &conn)
+{
+    char buf[16384];
+    for (;;) {
+        const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+        if (n > 0) {
+            if (conn.drain_left > 0) {
+                // Mid-discard of an oversized frame: bytes bypass
+                // the buffer entirely.
+                const size_t eat = std::min(
+                    conn.drain_left, static_cast<size_t>(n));
+                conn.drain_left -= eat;
+                if (conn.drain_left == 0)
+                    conn.want_close = true;
+                if (eat < static_cast<size_t>(n))
+                    conn.in.append(buf + eat,
+                                   static_cast<size_t>(n) - eat);
+            } else {
+                conn.in.append(buf, static_cast<size_t>(n));
+            }
+            continue;
+        }
+        if (n == 0) {
+            conn.read_eof = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeConn(conn);
+        return;
+    }
+
+    consumeBuffer(conn);
+    // consumeBuffer never closes, so conn is still valid here.
+    flushWrites(conn);
+}
+
+void
+Server::onWritable(Conn &conn)
+{
+    flushWrites(conn);
+}
+
+void
+Server::consumeBuffer(Conn &conn)
+{
+    if (hard_stop_.load()) {
+        conn.in.clear();
+        return;
+    }
+    for (;;) {
+        if (conn.drain_left > 0) {
+            const size_t eat =
+                std::min(conn.drain_left, conn.in.size());
+            conn.in.erase(0, eat);
+            conn.drain_left -= eat;
+            if (conn.drain_left == 0)
+                conn.want_close = true;
+            return;  // nothing after an oversized frame is served
+        }
+        if (conn.want_close)
+            return;  // draining out; ignore any further input
+
+        if (conn.http ||
+            (conn.in.size() >= 4 &&
+             std::memcmp(conn.in.data(), "GET ", 4) == 0)) {
             // One-shot HTTP: serve /stats JSON and close, so curl
             // and load-balancer health checks need no client.
+            conn.http = true;
+            const bool complete =
+                conn.in.find("\r\n\r\n") != std::string::npos ||
+                conn.in.find("\n\n") != std::string::npos ||
+                conn.in.size() >= 8192 || conn.read_eof;
+            if (!complete)
+                return;
             metrics_.add("http_requests");
+            size_t end = conn.in.find(' ', 4);
+            if (end == std::string::npos)
+                end = conn.in.find('\n', 4);
+            if (end == std::string::npos)
+                end = conn.in.size();
+            const std::string target = conn.in.substr(4, end - 4);
+            conn.in.clear();
             const bool found =
-                http_target == "/stats" || http_target == "/stats/";
+                target == "/stats" || target == "/stats/";
             const std::string body =
                 found ? statsJson()
                       : std::string("{\"error\":\"not found\"}");
-            const std::string head = support::strprintf(
+            conn.out += support::strprintf(
                 "HTTP/1.0 %s\r\nContent-Type: application/json\r\n"
                 "Content-Length: %zu\r\nConnection: close\r\n\r\n",
                 found ? "200 OK" : "404 Not Found", body.size());
-            const std::string http = head + body;
-            // Raw HTTP, not a frame; best effort — the connection
-            // closes either way.
-            if (::send(fd, http.data(), http.size(),
-                       MSG_NOSIGNAL) < 0)
-                metrics_.add("http_write_errors");
-            break;
+            conn.out += body;
+            conn.want_close = true;
+            return;
         }
 
-        if (st == FrameStatus::TooLarge) {
+        if (conn.in.size() < 4)
+            return;
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(conn.in.data());
+        const size_t len = (static_cast<size_t>(p[0]) << 24) |
+                           (static_cast<size_t>(p[1]) << 16) |
+                           (static_cast<size_t>(p[2]) << 8) |
+                           static_cast<size_t>(p[3]);
+        if (len > options_.max_frame_bytes) {
             // The stream can't be resynchronized after an oversized
-            // length prefix: answer once and drop the connection.
+            // length prefix: answer once, discard the frame's bytes
+            // (so the response isn't RST away from a peer that is
+            // still writing), and drop the connection.
             metrics_.add("requests_total");
             metrics_.add("oversized_frames");
-            Response resp = makeError(status::kRejected, detail);
+            Response resp = makeError(
+                status::kRejected,
+                support::strprintf("frame of %zu bytes exceeds the "
+                                   "%zu-byte limit",
+                                   len, options_.max_frame_bytes));
             metrics_.add(statusCounterName(resp.status));
-            std::string err;
-            writeFrame(fd, encodeResponse(resp), &err);
-            break;
+            const size_t cap = std::min(len, kMaxDrainBytes);
+            const size_t have =
+                std::min(cap, conn.in.size() - 4);
+            conn.in.clear();
+            conn.drain_left = cap - have;
+            queueResponse(conn, conn.next_seq++, resp);
+            if (conn.drain_left == 0)
+                conn.want_close = true;
+            return;
         }
-
-        Request req;
-        Response resp;
-        if (!parseRequest(payload, req, &detail)) {
-            metrics_.add("requests_total");
-            resp = makeError(status::kError, detail);
-            metrics_.add(statusCounterName(resp.status));
-        } else {
-            resp = handle(req);
-        }
-        std::string err;
-        if (!writeFrame(fd, encodeResponse(resp), &err)) {
-            metrics_.add("response_write_errors");
-            break;
-        }
+        if (conn.in.size() < 4 + len)
+            return;
+        std::string payload = conn.in.substr(4, len);
+        conn.in.erase(0, 4 + len);
+        // Batching: every complete frame in the buffer dispatches in
+        // this same pass, so a pipelining client's requests hit the
+        // pool together.
+        dispatch(conn, std::move(payload));
     }
-    ::close(fd);
-    // No lock: the entry outlives the thread (reaper and drain only
-    // erase after joining), and done is atomic.
-    conn->done.store(true);
+}
+
+void
+Server::dispatch(Conn &conn, std::string payload)
+{
+    const uint64_t seq = conn.next_seq++;
+    Request req;
+    std::string detail;
+    if (!parseRequest(payload, req, &detail)) {
+        metrics_.add("requests_total");
+        const Response resp = makeError(status::kError, detail);
+        metrics_.add(statusCounterName(resp.status));
+        queueResponse(conn, seq, resp);
+        return;
+    }
+    if (req.verb == "compile") {
+        dispatchCompile(conn, seq, std::move(req));
+        return;
+    }
+    const int64_t start_ms = nowMs();
+    metrics_.add("requests_total");
+    const Response resp = handleInline(req);
+    metrics_.add(statusCounterName(resp.status));
+    metrics_.observe("request_ms",
+                     static_cast<double>(nowMs() - start_ms));
+    queueResponse(conn, seq, resp);
 }
 
 Response
-Server::handle(const Request &req)
+Server::handleInline(const Request &req)
 {
-    const int64_t start_ms = nowMs();
-    metrics_.add("requests_total");
-
     Response resp;
     if (req.verb == "ping") {
         resp.body = "pong\n";
     } else if (req.verb == "stats") {
         resp.body = statsJson();
+    } else if (req.verb == "fill") {
+        // A peer compiled a key this replica owns (the client was
+        // routed elsewhere, or the ring rebalanced) and offers the
+        // result. Insertion is idempotent and the payload is as
+        // trustworthy as the peer, which shares our binary.
+        CacheKey key;
+        if (!parseCacheKeyHex(req.fill_key, &key))
+            return makeError(status::kError,
+                             "bad fill-key '" + req.fill_key + "'");
+        metrics_.add("fills_received");
+        if (options_.cache_bytes > 0) {
+            cache_.insert(key, req.module_text);
+            const CompileCache::Stats cs = cache_.stats();
+            metrics_.set("cache_bytes", cs.bytes);
+            metrics_.set("cache_entries", cs.entries);
+        }
+        resp.body = "filled\n";
     } else {
-        resp = handleCompile(req);
+        resp = makeError(status::kError,
+                         "unknown verb '" + req.verb + "'");
     }
-
-    metrics_.add(statusCounterName(resp.status));
-    metrics_.observe("request_ms",
-                     static_cast<double>(nowMs() - start_ms));
     return resp;
 }
 
-Response
-Server::handleCompile(const Request &req)
+void
+Server::dispatchCompile(Conn &conn, uint64_t seq, Request req)
 {
-    if (stopping_.load())
-        return makeError(status::kShuttingDown,
-                         "server is draining");
+    const int64_t enqueue_ms = nowMs();
+    metrics_.add("requests_total");
+
+    auto answerNow = [&](Response resp) {
+        metrics_.add(statusCounterName(resp.status));
+        metrics_.observe("request_ms",
+                         static_cast<double>(nowMs() - enqueue_ms));
+        queueResponse(conn, seq, resp);
+    };
+
+    if (stopping_.load()) {
+        answerNow(
+            makeError(status::kShuttingDown, "server is draining"));
+        return;
+    }
 
     // Admission control: never let the queue grow past queue_limit —
     // answer with backpressure and a retry hint instead.
@@ -418,12 +729,17 @@ Server::handleCompile(const Request &req)
                 support::strprintf("queue full (%zu in flight)",
                                    admitted));
             resp.retry_after_ms = retryAfterHintMs();
-            return resp;
+            answerNow(std::move(resp));
+            return;
         }
-    } while (!admitted_.compare_exchange_weak(admitted, admitted + 1));
+    } while (
+        !admitted_.compare_exchange_weak(admitted, admitted + 1));
 
-    const int64_t enqueue_ms = nowMs();
-    auto future = pool_->submit([this, &req, enqueue_ms] {
+    ++conn.inflight;
+    jobs_inflight_.fetch_add(1);
+    const uint64_t conn_id = conn.id;
+    pool_->submit([this, conn_id, seq, enqueue_ms,
+                   req = std::move(req)]() mutable {
         if (options_.debug_queue_delay_ms > 0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 options_.debug_queue_delay_ms));
@@ -446,15 +762,147 @@ Server::handleCompile(const Request &req)
             resp = compileNow(req);
         }
         admitted_.fetch_sub(1);
-        return resp;
+        metrics_.add(statusCounterName(resp.status));
+        metrics_.observe("request_ms",
+                         static_cast<double>(nowMs() - enqueue_ms));
+
+        {
+            std::lock_guard<std::mutex> lock(completions_mutex_);
+            completions_.push_back(
+                Completion{conn_id, seq, encodeResponse(resp)});
+        }
+        jobs_inflight_.fetch_sub(1);
+        const char byte = 'w';
+        [[maybe_unused]] const ssize_t n =
+            ::write(wake_pipe_[1], &byte, 1);
     });
-    return future.get();
+}
+
+void
+Server::drainCompletions()
+{
+    std::vector<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        batch.swap(completions_);
+    }
+    for (Completion &done : batch) {
+        auto it = conns_.find(done.conn_id);
+        if (it == conns_.end())
+            continue;  // the peer vanished mid-compile
+        Conn &conn = *it->second;
+        TG_ASSERT(conn.inflight > 0);
+        --conn.inflight;
+        queueRaw(conn, done.seq, std::move(done.encoded));
+        auto again = conns_.find(done.conn_id);
+        if (again != conns_.end())
+            flushWrites(*again->second);
+    }
+}
+
+void
+Server::queueResponse(Conn &conn, uint64_t seq,
+                      const Response &resp)
+{
+    queueRaw(conn, seq, encodeResponse(resp));
+    flushWrites(conn);
+}
+
+void
+Server::queueRaw(Conn &conn, uint64_t seq, std::string encoded)
+{
+    // Responses go out in request order, whatever order the pool
+    // finished them in.
+    conn.done.emplace(seq, std::move(encoded));
+    for (auto it = conn.done.begin();
+         it != conn.done.end() && it->first == conn.sent_seq;
+         it = conn.done.erase(it), ++conn.sent_seq) {
+        const std::string &payload = it->second;
+        const size_t len = payload.size();
+        const char prefix[4] = {
+            static_cast<char>(len >> 24),
+            static_cast<char>(len >> 16),
+            static_cast<char>(len >> 8),
+            static_cast<char>(len),
+        };
+        conn.out.append(prefix, 4);
+        conn.out.append(payload);
+    }
+}
+
+void
+Server::flushWrites(Conn &conn)
+{
+    while (conn.out_off < conn.out.size()) {
+        const ssize_t n = ::send(
+            conn.fd, conn.out.data() + conn.out_off,
+            conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+        if (n >= 0) {
+            conn.out_off += static_cast<size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            updateEpollOut(conn);
+            return;
+        }
+        metrics_.add(conn.http ? "http_write_errors"
+                               : "response_write_errors");
+        closeConn(conn);
+        return;
+    }
+    conn.out.clear();
+    conn.out_off = 0;
+    updateEpollOut(conn);
+    if ((conn.want_close || conn.read_eof) && conn.inflight == 0 &&
+        conn.done.empty() && conn.drain_left == 0)
+        closeConn(conn);
 }
 
 Response
 Server::compileNow(const Request &req)
 {
     support::TraceScope span("request", "service");
+
+    // Warm fast path: byte-identical resubmissions (the steady state
+    // of a farm recompiling an unchanged tree) skip parse + verify +
+    // canonical printing entirely. Disabled under verify_hits, which
+    // needs the parsed function to recompile against.
+    const bool use_raw_alias = options_.cache_bytes > 0 &&
+                               !req.no_cache && !options_.verify_hits;
+    CacheKey raw_key;
+    if (use_raw_alias) {
+        raw_key =
+            makeCacheKey(req.module_text, req.configFingerprint());
+        CacheKey canonical;
+        bool aliased = false;
+        {
+            std::lock_guard<std::mutex> lock(alias_mutex_);
+            const auto it =
+                raw_alias_.find({raw_key.hi, raw_key.lo});
+            if (it != raw_alias_.end()) {
+                canonical = it->second;
+                aliased = true;
+            }
+        }
+        if (aliased) {
+            if (std::optional<std::string> hit =
+                    cache_.lookup(canonical)) {
+                if (!cluster_.empty()) {
+                    metrics_.add(cluster_.ownerIndex(canonical) ==
+                                         self_index_
+                                     ? "shard_owned_requests"
+                                     : "shard_foreign_requests");
+                }
+                metrics_.add("cache_raw_hits");
+                Response resp;
+                resp.cached = true;
+                resp.body = std::move(*hit);
+                return resp;
+            }
+        }
+    }
 
     std::string parse_error;
     std::unique_ptr<ir::Module> mod =
@@ -496,6 +944,25 @@ Server::compileNow(const Request &req)
     const std::string canonical = canonicalFunctionText(*fn);
     const CacheKey key =
         makeCacheKey(canonical, req.configFingerprint());
+
+    // Shard accounting: who owns this key on the cluster ring? A
+    // foreign key means the client routed around us (or the ring
+    // rebalanced after a death) — we still serve it, and forward the
+    // result to the owner below.
+    size_t owner = self_index_;
+    if (!cluster_.empty()) {
+        owner = cluster_.ownerIndex(key);
+        metrics_.add(owner == self_index_
+                         ? "shard_owned_requests"
+                         : "shard_foreign_requests");
+    }
+
+    if (use_raw_alias) {
+        std::lock_guard<std::mutex> lock(alias_mutex_);
+        if (raw_alias_.size() >= kRawAliasCap)
+            raw_alias_.clear();
+        raw_alias_.emplace(std::pair{raw_key.hi, raw_key.lo}, key);
+    }
 
     const bool use_cache = options_.cache_bytes > 0 && !req.no_cache;
     if (use_cache) {
@@ -544,8 +1011,36 @@ Server::compileNow(const Request &req)
         const CompileCache::Stats cs = cache_.stats();
         metrics_.set("cache_bytes", cs.bytes);
         metrics_.set("cache_entries", cs.entries);
+        if (owner != self_index_)
+            forwardFill(owner, key, resp.body);
     }
     return resp;
+}
+
+void
+Server::forwardFill(size_t owner_index, const CacheKey &key,
+                    const std::string &body)
+{
+    if (peer_dead_[owner_index].load())
+        return;
+    const std::string &addr = options_.peers[owner_index];
+    Request fill;
+    fill.verb = "fill";
+    fill.fill_key = key.str();
+    fill.module_text = body;
+
+    std::string error;
+    auto peer = Client::connect(addr, &error);
+    Response resp;
+    if (!peer || !peer->call(fill, &resp, &error) ||
+        resp.status != status::kOk) {
+        // Best effort: a dead peer is skipped from now on (it
+        // rejoins with an empty cache on restart anyway).
+        metrics_.add("fills_failed");
+        peer_dead_[owner_index].store(true);
+        return;
+    }
+    metrics_.add("fills_sent");
 }
 
 int64_t
@@ -562,6 +1057,11 @@ std::string
 Server::statsJson() const
 {
     const CompileCache::Stats cs = cache_.stats();
+    size_t alive_peers = 0;
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+        if (i == self_index_ || !peer_dead_[i].load())
+            ++alive_peers;
+    }
     std::ostringstream os;
     os << "{\"metrics\":" << metrics_.toJson() << ",\"cache\":"
        << support::strprintf(
@@ -573,6 +1073,11 @@ Server::statsJson() const
               static_cast<unsigned long long>(cs.insertions),
               static_cast<unsigned long long>(cs.evictions), cs.bytes,
               cs.entries, cache_.maxBytes())
+       << ",\"cluster\":"
+       << support::strprintf(
+              "{\"self\":\"%s\",\"peers\":%zu,\"alive_peers\":%zu}",
+              options_.self_address.c_str(), cluster_.size(),
+              alive_peers)
        << ",\"server\":"
        << support::strprintf(
               "{\"threads\":%zu,\"queue_limit\":%zu,"
@@ -589,34 +1094,36 @@ Server::statsJson() const
 void
 Server::waitUntilStopped()
 {
+    // Block until a drain was requested (SIGTERM or requestStop()),
+    // then escalate: finish what was admitted and exit the loop. The
+    // poll keeps this waitable from a plain main() without handing
+    // requestStop anything beyond its async-signal-safe pipe write.
+    while (!stopping_.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
     if (joined_.exchange(true))
         return;
-    if (accept_thread_.joinable())
-        accept_thread_.join();
-
-    // The accept thread is gone, so the connection list is stable
-    // from here on. Unblock threads parked in readFrame; ones busy
-    // compiling finish their response first (SHUT_RD leaves the
-    // write side open). Entries are only destroyed after their
-    // thread is joined.
-    for (Connection &conn : connections_) {
-        if (!conn.done.load())
-            ::shutdown(conn.fd, SHUT_RD);
+    hard_stop_.store(true);
+    {
+        const char byte = 'w';
+        [[maybe_unused]] const ssize_t n =
+            ::write(wake_pipe_[1], &byte, 1);
     }
-    for (Connection &conn : connections_) {
-        if (conn.thread.joinable())
-            conn.thread.join();
-    }
-    connections_.clear();
+    if (loop_thread_.joinable())
+        loop_thread_.join();
 
     pool_.reset();  // finishes anything still queued
     flushOnDrain();
 
-    if (stop_pipe_[0] >= 0)
-        ::close(stop_pipe_[0]);
-    if (stop_pipe_[1] >= 0)
-        ::close(stop_pipe_[1]);
-    stop_pipe_[0] = stop_pipe_[1] = -1;
+    for (int *pipe_fds : {stop_pipe_, wake_pipe_}) {
+        for (int i = 0; i < 2; ++i) {
+            if (pipe_fds[i] >= 0)
+                ::close(pipe_fds[i]);
+            pipe_fds[i] = -1;
+        }
+    }
+    if (epoll_fd_ >= 0)
+        ::close(epoll_fd_);
+    epoll_fd_ = -1;
     started_.store(false);
 }
 

@@ -1,17 +1,25 @@
 /**
  * @file
- * treegiond's engine: a persistent compile server.
+ * treegiond's engine: a persistent compile server on an epoll event
+ * loop.
  *
- * One accept thread multiplexes the Unix-domain and TCP listeners
- * plus a self-pipe (so requestStop() is safe to call from a signal
- * handler). Each connection gets a thread that reads frames and
- * answers them; compile work itself is sharded over the shared
- * support::ThreadPool, so a connection thread is just a parked
- * future while the pool compiles. Every compilation runs on a
- * private clone (runPipelineOnClone) — tail-duplicating schemes
- * mutate the function they compile, so shared state never does.
+ * One event-loop thread multiplexes the Unix-domain and TCP
+ * listeners, every live connection, a wake pipe (compile completions
+ * posted from the worker pool) and a stop pipe (so requestStop() is
+ * safe to call from a signal handler). Connections are nonblocking
+ * state machines: bytes accumulate in a per-connection read buffer,
+ * every complete frame in the buffer is dispatched in one pass
+ * (request batching — a client that pipelines N frames gets all N
+ * admitted together instead of lock-step round trips), and responses
+ * are flushed through a per-connection write buffer, falling back to
+ * EPOLLOUT when the kernel buffer fills. Lightweight verbs (ping,
+ * stats, fill) are answered on the loop thread; compile work is
+ * dispatched to the shared support::ThreadPool and its response is
+ * posted back to the loop, so the loop never blocks on a compile.
+ * Responses are sequenced per connection: pipelined requests finish
+ * on the pool in any order but are written back in arrival order.
  *
- * Robustness model:
+ * Robustness model (unchanged from the threaded server):
  *  - admission control: at most queue_limit requests may be admitted
  *    (queued + compiling) at once; beyond that the server answers
  *    "rejected" with a retry-after hint instead of growing an
@@ -31,6 +39,17 @@
  * (default on in debug builds) every hit is recompiled and asserted
  * bit-identical to the cached bytes, enforcing the determinism
  * invariant end to end.
+ *
+ * Clustering: a replica started with a peer list and its own address
+ * shares a consistent-hash ring with its peers (and with cluster
+ * clients — see service/ring.h). Clients route each request to the
+ * replica owning its cache key; when a replica compiles a key it
+ * does not own (a misrouted client, or a rebalanced ring after a
+ * peer died), it forwards the finished result to the owner with a
+ * "fill" request, so the owner's cache warms without recompiling.
+ * Fills are best-effort: a peer that refuses the connection is
+ * marked dead and skipped from then on. Per-shard counters
+ * (shard_owned/shard_foreign/fills_*) are folded into /stats.
  */
 
 #ifndef TREEGION_SERVICE_SERVER_H
@@ -38,7 +57,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +66,7 @@
 
 #include "service/cache.h"
 #include "service/protocol.h"
+#include "service/ring.h"
 #include "support/metrics.h"
 #include "support/thread_pool.h"
 
@@ -58,7 +78,10 @@ struct ServerOptions
     /** Unix-domain socket path; empty = no unix listener. */
     std::string unix_path;
 
-    /** TCP port; -1 = no TCP listener, 0 = pick an ephemeral port. */
+    /** TCP port; -1 = no TCP listener, 0 = pick an ephemeral port.
+     * Always prefer 0 in tests and scripts and read the bound port
+     * back from Server::tcpPort() (treegiond prints it): fixed ports
+     * collide across concurrent test runs. */
     int tcp_port = -1;
 
     /** TCP bind address. */
@@ -93,9 +116,20 @@ struct ServerOptions
     std::string trace_path;
 
     /**
+     * Cluster membership: every replica's client-visible address
+     * (including this one's). Non-empty = clustered; the ring over
+     * these addresses decides which replica owns which cache key.
+     */
+    std::vector<std::string> peers;
+
+    /** This replica's own address, verbatim as it appears in peers. */
+    std::string self_address;
+
+    /**
      * Test hook: hold every compile request in the queue for this
      * long before it is considered for execution. Makes deadline and
-     * backpressure behavior deterministic in tests and CI.
+     * backpressure behavior deterministic in tests and CI, and pins
+     * the per-request service time in the cluster capacity bench.
      */
     int64_t debug_queue_delay_ms = 0;
 };
@@ -113,7 +147,7 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind the configured listeners and start accepting.
+     * Bind the configured listeners and start the event loop.
      * @return false and set @p error on bind/listen failure.
      */
     bool start(std::string *error);
@@ -133,29 +167,76 @@ class Server
     /** @return the live metrics registry. */
     support::MetricsRegistry &metrics() { return metrics_; }
 
+    /** @return a snapshot of the compile cache counters. */
+    CompileCache::Stats cacheStats() const { return cache_.stats(); }
+
     /**
-     * @return the /stats JSON: the metrics registry plus cache and
-     * configuration gauges, one consistent snapshot.
+     * @return the /stats JSON: the metrics registry plus cache,
+     * cluster and configuration gauges, one consistent snapshot.
      */
     std::string statsJson() const;
 
   private:
-    struct Connection
+    /** One nonblocking connection's state machine. */
+    struct Conn
     {
         int fd = -1;
-        std::thread thread;
-        /** Set by the connection thread as its last action; the
-         * reaper only joins (and erases) done connections. */
-        std::atomic<bool> done{false};
+        uint64_t id = 0;
+        bool counted = true;  ///< occupies a max_connections slot
+        bool http = false;    ///< switched into one-shot HTTP mode
+        bool read_eof = false;
+        bool want_close = false;  ///< close once out_ is flushed
+        bool epollout = false;    ///< EPOLLOUT currently armed
+        std::string in;    ///< received, not yet consumed
+        std::string out;   ///< encoded, not yet written
+        size_t out_off = 0;
+        /** Oversized-frame bytes still to read and discard before
+         * the connection may close (closing earlier would RST the
+         * rejection response out of the peer's receive buffer). */
+        size_t drain_left = 0;
+        uint64_t next_seq = 0;  ///< sequence of the next request
+        uint64_t sent_seq = 0;  ///< responses appended to out so far
+        /** Finished responses waiting for their turn in sequence. */
+        std::map<uint64_t, std::string> done;
+        size_t inflight = 0;  ///< requests on the pool right now
     };
 
-    void acceptLoop();
-    void serveConnection(Connection *conn);
-    Response handle(const Request &req);
-    Response handleCompile(const Request &req);
+    /** A compile finished on the pool; deliver on the loop thread. */
+    struct Completion
+    {
+        uint64_t conn_id = 0;
+        uint64_t seq = 0;
+        std::string encoded;
+    };
 
-    /** Compile @p req now (admission already granted). */
+    void eventLoop();
+    void acceptPending(int listener_fd);
+    void onReadable(Conn &conn);
+    void onWritable(Conn &conn);
+    /** Consume every complete frame in conn.in. */
+    void consumeBuffer(Conn &conn);
+    void dispatch(Conn &conn, std::string payload);
+    /** Answer verbs the loop thread can serve without the pool. */
+    Response handleInline(const Request &req);
+    /** Admission-check @p req and either answer inline or dispatch
+     * the compile to the pool. */
+    void dispatchCompile(Conn &conn, uint64_t seq, Request req);
+    void queueResponse(Conn &conn, uint64_t seq,
+                       const Response &resp);
+    void queueRaw(Conn &conn, uint64_t seq, std::string encoded);
+    /** Flush conn.out as far as the kernel accepts. */
+    void flushWrites(Conn &conn);
+    void closeConn(Conn &conn);
+    void updateEpollOut(Conn &conn);
+    void drainCompletions();
+    bool shouldExitLoop() const;
+
+    /** Compile @p req now (admission already granted; pool thread). */
     Response compileNow(const Request &req);
+
+    /** Offer @p body to @p key's ring owner (pool thread). */
+    void forwardFill(size_t owner_index, const CacheKey &key,
+                     const std::string &body);
 
     /** Retry-after hint from the recent request latency. */
     int64_t retryAfterHintMs() const;
@@ -164,22 +245,48 @@ class Server
 
     ServerOptions options_;
     CompileCache cache_;
+    /**
+     * Warm-path shortcut: raw (module text, fingerprint) key ->
+     * canonical cache key, learned on every compile. A repeat
+     * submission with byte-identical text skips parse + verify +
+     * canonical printing on its way to the cache — the dominant
+     * per-hit cost under farm load. Formatting variants miss here
+     * and fall through to the canonical path, so semantics are
+     * unchanged. Bounded by clearing wholesale at kRawAliasCap.
+     */
+    static constexpr size_t kRawAliasCap = 1u << 16;
+    mutable std::mutex alias_mutex_;
+    std::map<std::pair<uint64_t, uint64_t>, CacheKey> raw_alias_;
     support::MetricsRegistry metrics_;
     std::unique_ptr<support::ThreadPool> pool_;
+
+    /** Static cluster ring over options_.peers (empty = solo). */
+    HashRing cluster_;
+    size_t self_index_ = 0;
+    /** Peers that refused a fill; skipped until restart. */
+    std::unique_ptr<std::atomic<bool>[]> peer_dead_;
 
     int unix_fd_ = -1;
     int tcp_fd_ = -1;
     int tcp_port_ = -1;
+    int epoll_fd_ = -1;
     int stop_pipe_[2] = {-1, -1};
+    int wake_pipe_[2] = {-1, -1};
 
-    std::thread accept_thread_;
-    std::atomic<bool> stopping_{false};
+    std::thread loop_thread_;
+    std::atomic<bool> stopping_{false};   ///< refuse new compiles
+    std::atomic<bool> hard_stop_{false};  ///< finish + exit the loop
     std::atomic<bool> started_{false};
     std::atomic<bool> joined_{false};
     std::atomic<size_t> admitted_{0};  ///< queued + compiling
+    std::atomic<size_t> jobs_inflight_{0};
 
-    std::mutex conn_mutex_;
-    std::list<Connection> connections_;
+    std::mutex completions_mutex_;
+    std::vector<Completion> completions_;
+
+    uint64_t next_conn_id_ = 16;  ///< ids below are listeners/pipes
+    std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+    size_t counted_conns_ = 0;
 };
 
 } // namespace treegion::service

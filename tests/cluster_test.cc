@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the treegiond compile farm: the consistent-hash ring
+ * (shard balance, minimal key movement on membership change), peer
+ * cache-fill forwarding between live replicas, and the chaos path —
+ * a replica dies mid-stream, the cluster client reroutes over the
+ * ring of survivors, and the per-replica /stats ledger still
+ * reconciles exactly against what the client observed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/client.h"
+#include "service/ring.h"
+#include "service/server.h"
+#include "support/hash.h"
+#include "support/string_utils.h"
+
+namespace treegion::service {
+namespace {
+
+/** Synthetic but well-mixed cache keys for ring statistics. */
+CacheKey
+syntheticKey(uint64_t i)
+{
+    CacheKey key;
+    key.lo = support::fnv1a64(support::strprintf("key-%llu",
+                                                 static_cast<unsigned long long>(i)));
+    key.hi = support::fnv1a64(
+        support::strprintf("key-%llu", static_cast<unsigned long long>(i)),
+        support::kFnvOffsetBasisAlt);
+    return key;
+}
+
+std::vector<std::string>
+memberNames(size_t n)
+{
+    std::vector<std::string> members;
+    for (size_t i = 0; i < n; ++i)
+        members.push_back(support::strprintf("replica-%zu:90%02zu", i, i));
+    return members;
+}
+
+// ---------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------
+
+TEST(HashRing, VirtualNodesBalanceShards)
+{
+    constexpr size_t kKeys = 10000;
+    const HashRing ring(memberNames(4));
+    std::vector<size_t> load(4, 0);
+    for (uint64_t i = 0; i < kKeys; ++i)
+        ++load[ring.ownerIndex(syntheticKey(i))];
+
+    size_t min_load = kKeys, max_load = 0;
+    for (const size_t l : load) {
+        min_load = std::min(min_load, l);
+        max_load = std::max(max_load, l);
+    }
+    ASSERT_GT(min_load, 0u);
+    // Virtual nodes keep shards within 25% of each other; without
+    // them (one point per member) the ratio routinely exceeds 2x.
+    EXPECT_LE(static_cast<double>(max_load) / min_load, 1.25)
+        << "loads: " << load[0] << " " << load[1] << " " << load[2]
+        << " " << load[3];
+}
+
+TEST(HashRing, OwnerIgnoresMemberOrder)
+{
+    std::vector<std::string> forward = memberNames(5);
+    std::vector<std::string> backward(forward.rbegin(),
+                                      forward.rend());
+    const HashRing a(forward), b(backward);
+    for (uint64_t i = 0; i < 1000; ++i) {
+        const CacheKey key = syntheticKey(i);
+        EXPECT_EQ(a.owner(key), b.owner(key));
+    }
+}
+
+TEST(HashRing, JoinMovesAboutOneNthOfKeys)
+{
+    constexpr size_t kKeys = 10000;
+    const HashRing before(memberNames(3));
+    std::vector<std::string> grown = memberNames(3);
+    grown.push_back("replica-new:9099");
+    const HashRing after(grown);
+
+    size_t moved = 0;
+    for (uint64_t i = 0; i < kKeys; ++i) {
+        const CacheKey key = syntheticKey(i);
+        const std::string &was = before.owner(key);
+        const std::string &now = after.owner(key);
+        if (was != now) {
+            ++moved;
+            // Every moved key moved TO the new member — a join never
+            // shuffles keys between the existing members.
+            EXPECT_EQ(now, "replica-new:9099");
+        }
+    }
+    // The new member should own about 1/4 of the key space.
+    EXPECT_GE(moved, kKeys / 10);
+    EXPECT_LE(moved, kKeys * 35 / 100);
+}
+
+TEST(HashRing, LeaveOnlyMovesTheDepartedKeys)
+{
+    const std::vector<std::string> full = memberNames(4);
+    const HashRing before(full);
+    std::vector<std::string> survivors(full.begin(), full.end() - 1);
+    const HashRing after(survivors);
+
+    for (uint64_t i = 0; i < 10000; ++i) {
+        const CacheKey key = syntheticKey(i);
+        const std::string &was = before.owner(key);
+        if (was != full.back()) {
+            // A survivor's keys stay put: removing a member only
+            // reassigns the departed member's arcs.
+            EXPECT_EQ(after.owner(key), was);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Live cluster, in process
+// ---------------------------------------------------------------
+
+/** The module every cluster request compiles (key varies by seed). */
+const char *kModule = R"(module sum_loop mem=1024
+func @main entry=bb0 gprs=16 preds=4 {
+  block bb0 weight=1 edges=[1] {
+    r0 = MOVI 0
+    r1 = MOVI 0
+    r2 = MOVI 0
+    BRU bb1
+  }
+  block bb1 weight=11 edges=[10,1] {
+    p0 = CMPP.LT r1, 10
+    BRCT p0, bb2, bb5
+  }
+  block bb2 weight=10 edges=[2,8] {
+    r3 = LD [r0 + 4]
+    r4 = ADD r3, r1
+    p1 = CMPP.GT r4, 100
+    BRCT p1, bb4, bb3
+  }
+  block bb3 weight=8 edges=[8] {
+    r2 = ADD r2, r4
+    BRU bb4
+  }
+  block bb4 weight=10 edges=[10] {
+    r1 = ADD r1, 1
+    BRU bb1
+  }
+  block bb5 weight=1 {
+    ST [r0 + 64], r2
+    RET r2
+  }
+}
+)";
+
+class ClusterEndToEnd : public ::testing::Test
+{
+  protected:
+    static constexpr size_t kReplicas = 3;
+
+    std::string
+    address(size_t i) const
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        return support::strprintf("unix:/tmp/tg-cluster-%d-%s-%zu.sock",
+                                  static_cast<int>(getpid()),
+                                  info->name(), i);
+    }
+
+    void
+    SetUp() override
+    {
+        for (size_t i = 0; i < kReplicas; ++i)
+            peers_.push_back(address(i));
+        for (size_t i = 0; i < kReplicas; ++i) {
+            ServerOptions options;
+            // address(i) is "unix:/path"; the server binds the path.
+            options.unix_path = peers_[i].substr(5);
+            options.threads = 2;
+            options.peers = peers_;
+            options.self_address = peers_[i];
+            servers_.push_back(
+                std::make_unique<Server>(std::move(options)));
+            std::string error;
+            ASSERT_TRUE(servers_[i]->start(&error)) << error;
+        }
+    }
+
+    void
+    TearDown() override
+    {
+        for (auto &server : servers_) {
+            if (server) {
+                server->requestStop();
+                server->waitUntilStopped();
+            }
+        }
+        for (size_t i = 0; i < kReplicas; ++i)
+            ::unlink(address(i).substr(5).c_str());
+    }
+
+    /** Stop replica @p i for good (chaos). The Server object stays
+     * alive so its metrics remain readable for the ledger. */
+    void
+    stopReplica(size_t i)
+    {
+        servers_[i]->requestStop();
+        servers_[i]->waitUntilStopped();
+    }
+
+    Request
+    compileRequest(uint64_t seed) const
+    {
+        Request req;
+        req.module_text = kModule;
+        req.profile_seed = seed;  // distinct seed => distinct key
+        req.profile_runs = 2;
+        return req;
+    }
+
+    std::vector<std::string> peers_;
+    std::vector<std::unique_ptr<Server>> servers_;
+};
+
+TEST_F(ClusterEndToEnd, ClientRoutesToTheRingOwner)
+{
+    ClusterClient client(peers_);
+    const HashRing ring(peers_);
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        const Request req = compileRequest(seed);
+        Response resp;
+        std::string error;
+        ASSERT_TRUE(client.call(req, &resp, &error)) << error;
+        EXPECT_EQ(resp.status, status::kOk) << resp.error;
+        EXPECT_FALSE(resp.cached);
+        EXPECT_EQ(client.lastMember(),
+                  ring.owner(requestRoutingKey(req)));
+    }
+    // The same requests again are all warm on their owners.
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        Response resp;
+        std::string error;
+        ASSERT_TRUE(
+            client.call(compileRequest(seed), &resp, &error))
+            << error;
+        EXPECT_EQ(resp.status, status::kOk);
+        EXPECT_TRUE(resp.cached);
+    }
+}
+
+TEST_F(ClusterEndToEnd, MisroutedCompileFillsTheOwnerCache)
+{
+    const HashRing ring(peers_);
+
+    // Find a request whose owner is replica 0, then send it straight
+    // to a non-owner — the situation a stale client (or a rebalanced
+    // ring) produces.
+    uint64_t seed = 1000;
+    while (ring.ownerIndex(requestRoutingKey(compileRequest(seed))) !=
+           0)
+        ++seed;
+    const Request req = compileRequest(seed);
+
+    std::string error;
+    auto direct = Client::connect(peers_[1], &error);
+    ASSERT_TRUE(direct) << error;
+    Response resp;
+    ASSERT_TRUE(direct->call(req, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, status::kOk) << resp.error;
+    EXPECT_FALSE(resp.cached);
+
+    // The non-owner compiled it (foreign shard) and forwarded the
+    // result; the owner's cache is warm although it never compiled.
+    EXPECT_EQ(servers_[1]->metrics().counter("shard_foreign_requests"),
+              1u);
+    EXPECT_EQ(servers_[1]->metrics().counter("fills_sent"), 1u);
+    EXPECT_EQ(servers_[0]->metrics().counter("fills_received"), 1u);
+
+    ClusterClient routed(peers_);
+    Response hit;
+    ASSERT_TRUE(routed.call(req, &hit, &error)) << error;
+    EXPECT_EQ(routed.lastMember(), peers_[0]);
+    EXPECT_EQ(hit.status, status::kOk);
+    EXPECT_TRUE(hit.cached);
+    EXPECT_EQ(hit.body, resp.body);
+}
+
+TEST_F(ClusterEndToEnd, ReplicaDeathReroutesAndLedgerReconciles)
+{
+    constexpr uint64_t kRequests = 30;
+    ClusterClient client(peers_);
+
+    // Phase 1: spread unique keys across all three replicas.
+    for (uint64_t seed = 0; seed < kRequests / 2; ++seed) {
+        Response resp;
+        std::string error;
+        ASSERT_TRUE(
+            client.call(compileRequest(seed), &resp, &error))
+            << error;
+        ASSERT_EQ(resp.status, status::kOk) << resp.error;
+    }
+
+    // Chaos: replica 1 dies mid-stream.
+    stopReplica(1);
+
+    // Phase 2: the remaining requests — including keys replica 1
+    // owned — are all answered by the survivors.
+    for (uint64_t seed = kRequests / 2; seed < kRequests; ++seed) {
+        Response resp;
+        std::string error;
+        ASSERT_TRUE(
+            client.call(compileRequest(seed), &resp, &error))
+            << error;
+        ASSERT_EQ(resp.status, status::kOk) << resp.error;
+    }
+    EXPECT_EQ(client.aliveMembers().size(), kReplicas - 1);
+
+    // Every request was answered exactly once: the ledger's observed
+    // responses add up to the request count, nothing lost.
+    uint64_t observed = 0, observed_ok = 0;
+    for (const auto &[addr, led] : client.ledger()) {
+        observed += led.calls;
+        observed_ok += led.ok;
+    }
+    EXPECT_EQ(observed_ok, kRequests);
+    EXPECT_GE(observed, kRequests);  // + any shutting-down answers
+
+    // Nothing compiled twice: every key is unique and every ok
+    // response was a cold compile, so the replicas' compile counts
+    // (cache insertions) sum to exactly the request count.
+    uint64_t insertions = 0;
+    for (const auto &server : servers_)
+        insertions += server->cacheStats().insertions;
+    EXPECT_EQ(insertions, kRequests);
+
+    // Exact per-replica reconciliation: a replica's requests_total
+    // is what this client observed from it plus the fills its peers
+    // pushed to it (phase-2 foreign compiles of replica-1 keys).
+    for (size_t i = 0; i < kReplicas; ++i) {
+        const auto &metrics = servers_[i]->metrics();
+        const auto it = client.ledger().find(peers_[i]);
+        const uint64_t client_calls =
+            it == client.ledger().end() ? 0 : it->second.calls;
+        EXPECT_EQ(metrics.counter("requests_total"),
+                  client_calls + metrics.counter("fills_received"))
+            << "replica " << i;
+    }
+}
+
+} // namespace
+} // namespace treegion::service

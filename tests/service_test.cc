@@ -655,6 +655,62 @@ TEST_F(ServiceEndToEnd, OversizedRequestIsRejected)
     EXPECT_EQ(callOnce(ping).status, status::kOk);
 }
 
+TEST_F(ServiceEndToEnd, PipelinedRequestsAnswerInOrder)
+{
+    startServer({});
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // Write all frames back to back before reading anything: the
+    // event loop must batch them to the pool, finish them in any
+    // order, and still answer in request order.
+    constexpr int kRounds = 4;
+    std::string error;
+    for (int i = 0; i < kRounds; ++i) {
+        Request compile = compileRequest();
+        compile.profile_seed = 7000 + static_cast<uint64_t>(i);
+        ASSERT_TRUE(
+            writeFrame(fd, encodeRequest(compile), &error))
+            << error;
+        Request ping;
+        ping.verb = "ping";
+        ASSERT_TRUE(writeFrame(fd, encodeRequest(ping), &error))
+            << error;
+    }
+
+    for (int i = 0; i < kRounds; ++i) {
+        std::string payload;
+        Response resp;
+        ASSERT_EQ(readFrame(fd, &payload, kDefaultMaxFrameBytes,
+                            &error),
+                  FrameStatus::Ok)
+            << error;
+        ASSERT_TRUE(parseResponse(payload, resp, &error)) << error;
+        EXPECT_EQ(resp.status, status::kOk) << resp.error;
+        EXPECT_NE(resp.body.find("function: main"),
+                  std::string::npos);
+
+        ASSERT_EQ(readFrame(fd, &payload, kDefaultMaxFrameBytes,
+                            &error),
+                  FrameStatus::Ok)
+            << error;
+        ASSERT_TRUE(parseResponse(payload, resp, &error)) << error;
+        EXPECT_EQ(resp.body, "pong\n");
+    }
+    ::close(fd);
+
+    EXPECT_EQ(server_->metrics().counter("requests_total"),
+              2u * kRounds);
+}
+
 TEST_F(ServiceEndToEnd, HttpGetStatsOnTheSameListener)
 {
     startServer({});

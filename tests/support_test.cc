@@ -683,5 +683,71 @@ TEST(BenchSchema, EntriesShareTheSeededWorkload)
     }
 }
 
+Json
+loadClusterBenchHistory()
+{
+    std::ifstream in(TREEGION_CLUSTER_BENCH_JSON);
+    EXPECT_TRUE(in.good()) << "missing " << TREEGION_CLUSTER_BENCH_JSON;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return JsonParser(ss.str()).parse();
+}
+
+/** The config names throughput_cluster emits, in emission order. */
+const char *const kClusterConfigNames[] = {
+    "cold-1r", "warm-1r", "cold-2r", "warm-2r", "cold-4r", "warm-4r",
+};
+
+TEST(ClusterBenchSchema, HistoryIsArrayOfV1Entries)
+{
+    const Json hist = loadClusterBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    ASSERT_FALSE(hist.arr.empty());
+    for (const Json &entry : hist.arr) {
+        ASSERT_EQ(entry.kind, Json::Kind::Obj);
+        EXPECT_EQ(entry["schema"].str, "treegion-cluster-bench/v1");
+        EXPECT_FALSE(entry["label"].str.empty());
+        const Json &workload = entry["workload"];
+        ASSERT_EQ(workload.kind, Json::Kind::Obj);
+        EXPECT_EQ(workload["name"].str, "pinned-service-time");
+        EXPECT_GT(workload["clients"].num, 0.0);
+        EXPECT_GT(workload["keys"].num, 0.0);
+        EXPECT_GT(workload["delay_ms"].num, 0.0)
+            << "capacity must be pinned for cross-machine comparison";
+        const Json &configs = entry["configs"];
+        ASSERT_EQ(configs.kind, Json::Kind::Arr);
+        ASSERT_EQ(configs.arr.size(), std::size(kClusterConfigNames));
+        for (size_t i = 0; i < configs.arr.size(); ++i) {
+            const Json &c = configs.arr[i];
+            EXPECT_EQ(c["name"].str, kClusterConfigNames[i]);
+            EXPECT_GT(c["replicas"].num, 0.0);
+            EXPECT_GT(c["wall_s"].num, 0.0);
+            EXPECT_NEAR(c["reqs_per_s"].num,
+                        c["requests"].num / c["wall_s"].num,
+                        0.01 * c["reqs_per_s"].num);
+        }
+    }
+}
+
+TEST(ClusterBenchSchema, WarmScalingMeetsTheAcceptanceBar)
+{
+    // The committed baseline must demonstrate >= 3x warm throughput
+    // at 4 replicas vs 1: sharding has to pay for its routing.
+    const Json hist = loadClusterBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    ASSERT_FALSE(hist.arr.empty());
+    const Json &configs = hist.arr.back()["configs"];
+    double warm_1r = 0.0, warm_4r = 0.0;
+    for (const Json &c : configs.arr) {
+        if (c["name"].str == "warm-1r")
+            warm_1r = c["reqs_per_s"].num;
+        if (c["name"].str == "warm-4r")
+            warm_4r = c["reqs_per_s"].num;
+    }
+    ASSERT_GT(warm_1r, 0.0);
+    EXPECT_GE(warm_4r / warm_1r, 3.0)
+        << "committed cluster baseline lost its scaling headroom";
+}
+
 } // namespace
 } // namespace treegion::support

@@ -8,8 +8,17 @@
  *
  * Usage:
  *   treegion-client --server ADDR [options] [input.tir | -]
+ *   treegion-client --cluster A,B,C [options] [input.tir | -]
  *
  * ADDR is "unix:/path", a bare absolute path, or "host:port".
+ *
+ * --cluster routes the request client-side over the consistent-hash
+ * ring the replicas share: the request's cache key picks the owning
+ * replica, and a replica that is unreachable or draining is skipped
+ * (the ring is rebuilt over the survivors and the request retried).
+ * The serving replica's address is printed as "member: ADDR" on
+ * stderr unless --quiet, so scripts can reconcile which replica
+ * answered.
  *
  * Options:
  *   --options "scheme=tree heuristic=gw width=4 ..."  pipeline
@@ -38,6 +47,8 @@
 #include <string>
 
 #include "service/client.h"
+#include "service/ring.h"
+#include "support/string_utils.h"
 
 using namespace treegion;
 
@@ -73,6 +84,7 @@ int
 main(int argc, char **argv)
 {
     std::string server_addr;
+    std::vector<std::string> cluster;
     std::string input;
     bool quiet = false;
     service::Request req;
@@ -88,6 +100,8 @@ main(int argc, char **argv)
         };
         if (arg == "--server") {
             server_addr = next();
+        } else if (arg == "--cluster") {
+            cluster = support::splitString(next(), ',');
         } else if (arg == "--options") {
             req.options = next();
         } else if (arg == "--function") {
@@ -121,8 +135,8 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
-    if (server_addr.empty())
-        return usage(argv[0]);
+    if (server_addr.empty() == cluster.empty())
+        return usage(argv[0]);  // exactly one of --server/--cluster
     if (req.verb == "compile") {
         if (input.empty())
             return usage(argv[0]);
@@ -144,19 +158,30 @@ main(int argc, char **argv)
     }
 
     std::string error;
-    auto client = service::Client::connect(server_addr, &error);
-    if (!client) {
-        std::fprintf(stderr, "connect: %s\n", error.c_str());
-        return 1;
-    }
-
     service::Response resp;
-    if (!client->call(req, &resp, &error)) {
-        std::fprintf(stderr, "call: %s\n", error.c_str());
-        return 1;
+    std::string served_by;
+    if (!cluster.empty()) {
+        service::ClusterClient client(cluster);
+        if (!client.call(req, &resp, &error)) {
+            std::fprintf(stderr, "call: %s\n", error.c_str());
+            return 1;
+        }
+        served_by = client.lastMember();
+    } else {
+        auto client = service::Client::connect(server_addr, &error);
+        if (!client) {
+            std::fprintf(stderr, "connect: %s\n", error.c_str());
+            return 1;
+        }
+        if (!client->call(req, &resp, &error)) {
+            std::fprintf(stderr, "call: %s\n", error.c_str());
+            return 1;
+        }
     }
 
     if (!quiet) {
+        if (!served_by.empty())
+            std::fprintf(stderr, "member: %s\n", served_by.c_str());
         std::fprintf(stderr, "status: %s%s%s\n", resp.status.c_str(),
                      resp.cached ? " (cached)" : "",
                      resp.error.empty()

@@ -38,7 +38,9 @@
  * Remote compilation against a running treegiond:
  *   --server ADDR        compile on the server instead of locally
  *                        (ADDR: "unix:/path", an absolute socket
- *                        path, or "host:port")
+ *                        path, or "host:port"; a comma-separated
+ *                        list "A,B,C" routes over the cluster's
+ *                        consistent-hash ring with failover)
  *   --no-cache           ask the server to bypass its compile cache
  * The pipeline options above are encoded and shipped with the
  * module; the server replies with the same stats (plus schedules
@@ -61,6 +63,8 @@
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
 #include "service/client.h"
+#include "service/ring.h"
+#include "support/string_utils.h"
 #include "support/remarks.h"
 #include "support/trace.h"
 #include "vliw/equivalence.h"
@@ -128,17 +132,29 @@ runOnServer(const CliOptions &cli, const std::string &source)
     req.module_text = source;
 
     std::string error;
-    auto client = service::Client::connect(cli.server, &error);
-    if (!client) {
-        std::fprintf(stderr, "connect %s: %s\n", cli.server.c_str(),
-                     error.c_str());
-        return 1;
-    }
     service::Response resp;
-    if (!client->call(req, &resp, &error)) {
-        std::fprintf(stderr, "server call failed: %s\n",
-                     error.c_str());
-        return 1;
+    if (cli.server.find(',') != std::string::npos) {
+        // A member list: route by cache key over the shared ring,
+        // failing over past dead or draining replicas.
+        service::ClusterClient client(
+            support::splitString(cli.server, ','));
+        if (!client.call(req, &resp, &error)) {
+            std::fprintf(stderr, "server call failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+    } else {
+        auto client = service::Client::connect(cli.server, &error);
+        if (!client) {
+            std::fprintf(stderr, "connect %s: %s\n",
+                         cli.server.c_str(), error.c_str());
+            return 1;
+        }
+        if (!client->call(req, &resp, &error)) {
+            std::fprintf(stderr, "server call failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
     }
     if (resp.status != service::status::kOk) {
         std::fprintf(stderr, "server: %s%s%s\n", resp.status.c_str(),

@@ -29,6 +29,13 @@
  *   --metrics-json FILE    write the /stats JSON here on drain
  *   --trace-json FILE      enable tracing; write one Chrome trace
  *                          per drain here
+ *   --peers A,B,C          cluster membership: every replica's
+ *                          client-visible address, identical on all
+ *                          replicas (the consistent-hash ring is
+ *                          built over these strings)
+ *   --self ADDR            this replica's own address, verbatim as
+ *                          it appears in --peers (required with
+ *                          --peers)
  *   --debug-queue-delay-ms N  test hook: hold each request in the
  *                          queue this long (deadline/backpressure
  *                          demos and CI)
@@ -45,6 +52,7 @@
 #include <string>
 
 #include "service/server.h"
+#include "support/string_utils.h"
 
 using namespace treegion;
 
@@ -114,6 +122,10 @@ main(int argc, char **argv)
             options.metrics_path = next();
         } else if (arg == "--trace-json") {
             options.trace_path = next();
+        } else if (arg == "--peers") {
+            options.peers = support::splitString(next(), ',');
+        } else if (arg == "--self") {
+            options.self_address = next();
         } else if (arg == "--debug-queue-delay-ms") {
             options.debug_queue_delay_ms = std::atoll(next());
         } else if (arg == "--help" || arg == "-h") {
