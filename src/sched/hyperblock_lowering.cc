@@ -4,7 +4,9 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "sched/rename_table.h"
 #include "support/logging.h"
 
 namespace treegion::sched {
@@ -17,14 +19,22 @@ using ir::Reg;
 
 namespace {
 
-using RenameMap = std::unordered_map<Reg, Reg>;
+/**
+ * The renaming at a block's end, captured for one outgoing internal
+ * edge: (orig, renamed) pairs in table insertion order. A flat
+ * snapshot of the shared RenameTable replaces the per-edge hash-map
+ * copies the first implementation carried — one contiguous
+ * allocation per edge instead of a rehash per accumulated rename,
+ * and its order is deterministic where hash-map order was not.
+ */
+using RenameSnapshot = std::vector<std::pair<Reg, Reg>>;
 
 /** One internal edge, with its predicate and the source's renaming. */
 struct InEdge
 {
     BlockId from;
     std::optional<Reg> pred;  ///< nullopt = constant true (root BRU)
-    RenameMap map;            ///< renaming at the source block's end
+    RenameSnapshot map;       ///< renaming at the source block's end
 };
 
 class HyperLowerer
@@ -32,7 +42,7 @@ class HyperLowerer
   public:
     HyperLowerer(ir::Function &fn, const region::Region &r,
                  const analysis::Liveness &live)
-        : fn_(fn), region_(r), live_(live)
+        : fn_(fn), region_(r), live_(live), table_(fn)
     {
         out_.root = r.root();
     }
@@ -104,20 +114,20 @@ class HyperLowerer
         return out;
     }
 
-    static void
-    applyRenames(Op &op, const RenameMap &map)
+    /** Rewrite register sources through the current renaming. */
+    void
+    applyRenames(Op &op) const
     {
         for (ir::Operand &src : op.srcs) {
             if (src.isReg()) {
-                auto it = map.find(src.reg);
-                if (it != map.end())
-                    src.reg = it->second;
+                if (const Reg *renamed = table_.find(src.reg))
+                    src.reg = *renamed;
             }
         }
     }
 
     void
-    renameDests(Op &op, RenameMap &map)
+    renameDests(Op &op)
     {
         for (Reg &dst : op.dsts) {
             Reg fresh;
@@ -132,7 +142,7 @@ class HyperLowerer
                 fresh = fn_.freshBtr();
                 break;
             }
-            map[dst] = fresh;
+            table_.set(dst, fresh);
             dst = fresh;
             ++out_.renamed_defs;
         }
@@ -180,16 +190,27 @@ class HyperLowerer
         return p;
     }
 
+    /** The current renaming, flattened for an outgoing edge. */
+    RenameSnapshot
+    snapshotRenames() const
+    {
+        RenameSnapshot snap;
+        table_.forEachPresent([&](Reg orig, Reg renamed) {
+            snap.emplace_back(orig, renamed);
+        });
+        return snap;
+    }
+
     std::vector<ExitCopy>
-    copiesFor(const RenameMap &map, BlockId target)
+    copiesFor(BlockId target)
     {
         std::vector<ExitCopy> copies;
-        for (const auto &[orig, renamed] : map) {
+        table_.forEachPresent([&](Reg orig, Reg renamed) {
             if (orig == renamed || orig.cls == ir::RegClass::Btr)
-                continue;
+                return;
             if (live_.liveIn(target, orig))
                 copies.push_back({orig, renamed});
-        }
+        });
         std::sort(copies.begin(), copies.end(),
                   [](const ExitCopy &a, const ExitCopy &b) {
                       return std::make_pair(a.dst.cls, a.dst.idx) <
@@ -200,8 +221,7 @@ class HyperLowerer
 
     void
     recordExit(size_t op_index, BlockId from, size_t target_slot,
-               BlockId target, bool is_ret, double weight,
-               const RenameMap &map)
+               BlockId target, bool is_ret, double weight)
     {
         LoweredExit exit;
         exit.op_index = op_index;
@@ -211,7 +231,7 @@ class HyperLowerer
         exit.is_ret = is_ret;
         exit.weight = weight;
         if (!is_ret && target != kNoBlock)
-            exit.copies = copiesFor(map, target);
+            exit.copies = copiesFor(target);
         out_.exits.push_back(std::move(exit));
     }
 
@@ -223,19 +243,32 @@ class HyperLowerer
     }
 
     /**
-     * Entry state of @p id: its block predicate and renaming,
-     * synthesized from the incoming edges (merging where needed).
+     * Load the entry state of @p id into the shared table and
+     * @return its block predicate, synthesizing merges where the
+     * block has several incoming edges. The caller owns the
+     * surrounding mark()/rollback() pair.
+     *
+     * Merge order is deterministic: keys are visited in
+     * first-appearance order across the edge snapshots (edge order
+     * itself follows the deterministic topological walk), so fresh
+     * register numbering and select emission no longer depend on
+     * hash-table iteration order.
      */
-    std::pair<std::optional<Reg>, RenameMap>
+    std::optional<Reg>
     entryState(BlockId id)
     {
         if (id == region_.root())
-            return {std::nullopt, {}};
+            return std::nullopt;
         auto it = in_edges_.find(id);
         TG_ASSERT(it != in_edges_.end() && !it->second.empty());
         std::vector<InEdge> &edges = it->second;
-        if (edges.size() == 1)
-            return {edges[0].pred, edges[0].map};
+        if (edges.size() == 1) {
+            for (const auto &[orig, renamed] : edges[0].map)
+                table_.set(orig, renamed);
+            const std::optional<Reg> pred = edges[0].pred;
+            in_edges_.erase(it);
+            return pred;
+        }
 
         // Merge. Block predicate: wired-OR of the edge predicates.
         const Reg block_pred = fn_.freshPred();
@@ -255,30 +288,49 @@ class HyperLowerer
             emit(std::move(orr), id, LoweredKind::PredDef);
         }
 
+        // Union of renamed registers, first-appearance order. The
+        // table doubles as the membership set (rolled back before
+        // the merged state is written).
+        std::vector<Reg> keys;
+        {
+            const size_t m = table_.mark();
+            for (const InEdge &edge : edges) {
+                for (const auto &[orig, renamed] : edge.map) {
+                    if (!table_.find(orig)) {
+                        table_.set(orig, renamed);
+                        keys.push_back(orig);
+                    }
+                }
+            }
+            table_.rollback(m);
+        }
+        // Every key's value on every edge (identity where an edge
+        // carries no entry), via one table load per edge.
+        std::vector<Reg> values(keys.size() * edges.size());
+        for (size_t e = 0; e < edges.size(); ++e) {
+            const size_t m = table_.mark();
+            for (const auto &[orig, renamed] : edges[e].map)
+                table_.set(orig, renamed);
+            for (size_t k = 0; k < keys.size(); ++k) {
+                const Reg *r = table_.find(keys[k]);
+                values[k * edges.size() + e] = r ? *r : keys[k];
+            }
+            table_.rollback(m);
+        }
+
         // Register state: keep entries on which all edges agree; for
         // live, disagreeing registers emit one guarded MOV (select)
         // per edge into a fresh register.
-        RenameMap merged;
-        std::unordered_set<Reg> keys;
-        for (const InEdge &edge : edges) {
-            for (const auto &[orig, renamed] : edge.map)
-                keys.insert(orig);
-        }
-        for (const Reg orig : keys) {
-            Reg first{};
+        for (size_t k = 0; k < keys.size(); ++k) {
+            const Reg orig = keys[k];
+            const Reg *row = &values[k * edges.size()];
+            const Reg first = row[0];
             bool agree = true;
-            for (size_t i = 0; i < edges.size(); ++i) {
-                auto mit = edges[i].map.find(orig);
-                const Reg value =
-                    mit == edges[i].map.end() ? orig : mit->second;
-                if (i == 0)
-                    first = value;
-                else
-                    agree &= (value == first);
-            }
+            for (size_t e = 1; e < edges.size(); ++e)
+                agree &= (row[e] == first);
             if (agree) {
                 if (first != orig)
-                    merged[orig] = first;
+                    table_.set(orig, first);
                 continue;
             }
             if (!live_.liveIn(id, orig))
@@ -286,24 +338,26 @@ class HyperLowerer
             const Reg fresh = orig.cls == ir::RegClass::Pred
                                   ? fn_.freshPred()
                                   : fn_.freshGpr();
-            for (const InEdge &edge : edges) {
-                auto mit = edge.map.find(orig);
-                const Reg value =
-                    mit == edge.map.end() ? orig : mit->second;
-                Op select = ir::makeMov(fresh, value);
-                select.guard = edge.pred;
+            for (size_t e = 0; e < edges.size(); ++e) {
+                Op select = ir::makeMov(fresh, row[e]);
+                select.guard = edges[e].pred;
                 emit(std::move(select), id, LoweredKind::Computation);
                 ++out_.renamed_defs;
             }
-            merged[orig] = fresh;
+            table_.set(orig, fresh);
         }
-        return {block_pred, merged};
+        in_edges_.erase(it);
+        return block_pred;
     }
 
     void
     lowerBlock(BlockId id)
     {
-        auto [pp, map] = entryState(id);
+        // Each block is processed exactly once: load its entry
+        // renaming, lower through the shared table, roll everything
+        // back so the next block starts from an empty table.
+        const size_t block_mark = table_.mark();
+        const std::optional<Reg> pp = entryState(id);
         ir::BasicBlock &b = fn_.block(id);
         const Op &term = b.terminator();
 
@@ -322,14 +376,14 @@ class HyperLowerer
             if (has_cond && orig.opcode == Opcode::CMPP &&
                 !orig.dsts.empty() && orig.dsts[0] == cond_reg) {
                 Op probe = orig;
-                applyRenames(probe, map);
+                applyRenames(probe);
                 branch_cond = {probe.cmp, {probe.srcs[0],
                                            probe.srcs[1]}};
                 continue;
             }
             Op op = orig;
-            applyRenames(op, map);
-            renameDests(op, map);
+            applyRenames(op);
+            renameDests(op);
             const bool pinned = op.isStore();
             if (pinned)
                 op.guard = pp;
@@ -338,17 +392,17 @@ class HyperLowerer
 
         auto push_in_edge = [&](BlockId target,
                                 std::optional<Reg> pred) {
-            in_edges_[target].push_back({id, pred, map});
+            in_edges_[target].push_back({id, pred, snapshotRenames()});
         };
 
         switch (term.opcode) {
           case Opcode::RET: {
             Op ret = term;
-            applyRenames(ret, map);
+            applyRenames(ret);
             ret.guard = pp;
             const size_t idx =
                 emit(std::move(ret), id, LoweredKind::ExitBranch);
-            recordExit(idx, id, 0, kNoBlock, true, b.weight(), map);
+            recordExit(idx, id, 0, kNoBlock, true, b.weight());
             break;
           }
           case Opcode::BRU: {
@@ -360,8 +414,8 @@ class HyperLowerer
                                : ir::makeBru(target);
                 const size_t idx = emit(std::move(branch), id,
                                         LoweredKind::ExitBranch);
-                recordExit(idx, id, 0, target, false, edgeWeight(b, 0),
-                           map);
+                recordExit(idx, id, 0, target, false,
+                           edgeWeight(b, 0));
             }
             break;
           }
@@ -387,14 +441,14 @@ class HyperLowerer
                     const size_t idx = emit(std::move(branch), id,
                                             LoweredKind::ExitBranch);
                     recordExit(idx, id, slot, target, false,
-                               edgeWeight(b, slot), map);
+                               edgeWeight(b, slot));
                 }
             }
             break;
           }
           case Opcode::MWBR: {
             Op sel_probe = term;
-            applyRenames(sel_probe, map);
+            applyRenames(sel_probe);
             const ir::Operand selector = sel_probe.srcs[0];
             Op mwbr = term;
             mwbr.srcs = {selector};
@@ -420,7 +474,7 @@ class HyperLowerer
                     emit(std::move(mwbr), id, LoweredKind::ExitBranch);
                 for (const auto &[slot, target] : exit_cases) {
                     recordExit(idx, id, slot, target, false,
-                               edgeWeight(b, slot), map);
+                               edgeWeight(b, slot));
                 }
             }
             break;
@@ -429,12 +483,14 @@ class HyperLowerer
             TG_PANIC("unexpected terminator %s",
                      std::string(ir::opcodeName(term.opcode)).c_str());
         }
+        table_.rollback(block_mark);
     }
 
     ir::Function &fn_;
     const region::Region &region_;
     const analysis::Liveness &live_;
     LoweredRegion out_;
+    RenameTable table_;  ///< shared by the whole walk (journaled)
     std::unordered_map<BlockId, std::vector<InEdge>> in_edges_;
 };
 

@@ -629,6 +629,18 @@ reportArenaMetrics(support::MetricsRegistry &metrics)
                 g_arena_capacity.load(std::memory_order_relaxed));
 }
 
+uint64_t
+schedArenaHighWaterBytes()
+{
+    return schedArena().highWater();
+}
+
+void
+schedArenaTrim()
+{
+    schedArena().trim();
+}
+
 RegionSchedule
 scheduleRegion(ir::Function &fn, const region::Region &r,
                const analysis::Liveness &live, const MachineModel &model,

@@ -84,6 +84,23 @@ int runPlacementProbe(ir::Function &fn, LoweredRegion lowered,
  */
 void reportArenaMetrics(support::MetricsRegistry &metrics);
 
+/**
+ * @return the calling thread's scheduling-arena high-water mark in
+ * bytes (0 if this thread never scheduled). Per-thread, not global:
+ * the per-stage memory telemetry in PipelineResult reads this right
+ * after the schedule stage it measures.
+ */
+uint64_t schedArenaHighWaterBytes();
+
+/**
+ * Return the calling thread's scheduling arena to the allocator
+ * (support::Arena::trim). Memory-budgeted drivers call this after
+ * every job, before releasing the job's gate reservation, so a
+ * worker's retained arena cannot accumulate outside the budget; the
+ * next job on this thread regrows the arena from scratch.
+ */
+void schedArenaTrim();
+
 } // namespace treegion::sched
 
 #endif // TREEGION_SCHED_LIST_SCHEDULER_H

@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "sched/rename_table.h"
 #include "support/logging.h"
 #include "support/remarks.h"
 
@@ -16,109 +17,6 @@ using ir::Opcode;
 using ir::Reg;
 
 namespace {
-
-/**
- * Current renaming of original registers along one tree path.
- *
- * Semantically this is a map copied by value into every recursive
- * lowerBlock call (sibling paths diverge). Copying a hash map per
- * tree node is O(path length) per copy; instead the table is dense
- * per-class storage shared by the whole walk plus an undo journal:
- * the caller takes a mark() before recursing into a child and
- * rollback()s afterwards, restoring exactly the state a by-value copy
- * would have given the sibling.
- */
-class RenameTable
-{
-  public:
-    explicit RenameTable(const ir::Function &fn)
-    {
-        slots_[slotClass(ir::RegClass::Gpr)].resize(fn.numGprs());
-        slots_[slotClass(ir::RegClass::Pred)].resize(fn.numPreds());
-        slots_[slotClass(ir::RegClass::Btr)].resize(fn.numBtrs());
-    }
-
-    /** @return the current renaming of @p orig, or nullptr. */
-    const Reg *
-    find(Reg orig) const
-    {
-        const auto &slots = slots_[slotClass(orig.cls)];
-        if (orig.idx >= slots.size() || !slots[orig.idx].present)
-            return nullptr;
-        return &slots[orig.idx].val;
-    }
-
-    /** Map @p orig to @p renamed (journaled). */
-    void
-    set(Reg orig, Reg renamed)
-    {
-        auto &slots = slots_[slotClass(orig.cls)];
-        if (orig.idx >= slots.size())
-            slots.resize(orig.idx + 1);
-        Entry &entry = slots[orig.idx];
-        journal_.push_back({orig, entry.val, entry.present != 0});
-        if (!entry.present)
-            keys_.push_back(orig);
-        entry.val = renamed;
-        entry.present = 1;
-    }
-
-    /** Undo point for rollback(). */
-    size_t mark() const { return journal_.size(); }
-
-    /** Restore the table to the state at @p mark. */
-    void
-    rollback(size_t mark)
-    {
-        while (journal_.size() > mark) {
-            const Undo &undo = journal_.back();
-            Entry &entry =
-                slots_[slotClass(undo.orig.cls)][undo.orig.idx];
-            if (undo.was_present) {
-                entry.val = undo.prev;
-            } else {
-                entry.present = 0;
-                TG_ASSERT(!keys_.empty() && keys_.back() == undo.orig);
-                keys_.pop_back();
-            }
-            journal_.pop_back();
-        }
-    }
-
-    /** Visit every present (orig, renamed) pair, insertion order. */
-    template <typename F>
-    void
-    forEachPresent(F &&f) const
-    {
-        for (const Reg orig : keys_) {
-            const auto &slots = slots_[slotClass(orig.cls)];
-            f(orig, slots[orig.idx].val);
-        }
-    }
-
-  private:
-    struct Entry
-    {
-        Reg val{};
-        uint8_t present = 0;
-    };
-    struct Undo
-    {
-        Reg orig;
-        Reg prev;
-        bool was_present;
-    };
-
-    static size_t
-    slotClass(ir::RegClass cls)
-    {
-        return static_cast<size_t>(cls);
-    }
-
-    std::vector<Entry> slots_[3];
-    std::vector<Reg> keys_;  ///< present keys, oldest first
-    std::vector<Undo> journal_;
-};
 
 /** One path condition: cmp(a, b) with renamed operands. */
 struct Cond

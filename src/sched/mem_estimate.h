@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Peak-memory estimation for compile jobs (ROADMAP item 2).
+ *
+ * The memory-budgeted admission scheduler (pipeline driver and
+ * treegiond) needs a projected peak heap footprint for a job *before*
+ * running it. The model here is a small linear fit over the job's
+ * shape — op, block and CFG-edge counts — with per-scheme and
+ * per-issue-width factors, calibrated against measured peaks from the
+ * SPEC proxy sweep (bench/throughput_memsched.cc --calibrate, with
+ * the tests/alloc_guard.h interposer feeding support/memstat.h).
+ *
+ * The estimate is deliberately conservative: it aims a little above
+ * the measured peak, because the admission gate treats it as a hard
+ * reservation against --mem-budget. tests/mem_estimate_test.cc pins
+ * the error band (within 2x of measured, both directions) on the
+ * golden corpus.
+ */
+
+#ifndef TREEGION_SCHED_MEM_ESTIMATE_H
+#define TREEGION_SCHED_MEM_ESTIMATE_H
+
+#include <cstdint>
+#include <string>
+
+#include "sched/pipeline.h"
+
+namespace treegion::sched {
+
+/** The shape counts the estimator model is fit over. */
+struct MemShape
+{
+    uint64_t ops = 0;     ///< total ops over live blocks
+    uint64_t blocks = 0;  ///< live basic blocks
+    uint64_t edges = 0;   ///< CFG edges (terminator targets)
+};
+
+/** Measure @p fn's shape exactly (cheap: one pass over the CFG). */
+MemShape measureShape(const ir::Function &fn);
+
+/**
+ * Approximate the shape of an unparsed .tir module by scanning its
+ * text (op lines, "block" headers, edge-list entries). Used by
+ * treegiond's admission on the event-loop thread, where parsing the
+ * module would block the loop. Covers the whole module, so for a
+ * multi-function module it over-estimates the single requested
+ * function — conservative in the direction admission wants.
+ */
+MemShape estimateShapeFromText(const std::string &module_text);
+
+/**
+ * Projected peak heap bytes for compiling a job of shape @p shape
+ * under @p options (clone + formation + liveness + DDG + SoA
+ * scheduler state + result assembly, including the scheduling
+ * arena's growth).
+ */
+uint64_t estimatePeakBytes(const MemShape &shape,
+                           const PipelineOptions &options);
+
+/** Convenience: measureShape(*job.fn) + estimatePeakBytes. */
+uint64_t estimateJobPeakBytes(const PipelineJob &job);
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_MEM_ESTIMATE_H

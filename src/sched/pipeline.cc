@@ -3,10 +3,16 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 
+#include <algorithm>
+
 #include "analysis/liveness.h"
+#include "sched/mem_estimate.h"
 #include "support/logging.h"
+#include "support/memstat.h"
 #include "support/string_utils.h"
 #include "support/trace.h"
 
@@ -165,6 +171,22 @@ runPipeline(ir::Function &fn, const PipelineOptions &options)
     PipelineResult result;
     const size_t original_ops = fn.totalOps();
 
+    // Per-stage peak-footprint telemetry, only when an allocation
+    // interposer is feeding memstat AND the caller opted in (stage
+    // windows reset the process-global peak, so the opt-in keeps
+    // concurrent whole-run measurements intact — see StageMemStats).
+    const bool measure_mem =
+        support::memstatActive() && support::memstatStageProfiling();
+    uint64_t stage_start =
+        measure_mem ? support::memstatResetWindow() : 0;
+    auto stageMemPeak = [&]() -> uint64_t {
+        const uint64_t peak = support::memstatWindowPeakBytes();
+        const uint64_t growth =
+            peak > stage_start ? peak - stage_start : 0;
+        stage_start = support::memstatResetWindow();
+        return growth;
+    };
+
     {
         TraceScope span("formation");
         span.arg("fn", fn.name())
@@ -195,6 +217,8 @@ runPipeline(ir::Function &fn, const PipelineOptions &options)
     }
     TraceCollector::instance().addCounter(
         "regions_formed", result.regions.regions().size());
+    if (measure_mem)
+        result.mem.formation_peak_bytes = stageMemPeak();
 
     result.region_stats = region::computeRegionStats(fn, result.regions);
     result.code_expansion = region::codeExpansionFactor(fn, original_ops);
@@ -207,6 +231,8 @@ runPipeline(ir::Function &fn, const PipelineOptions &options)
         span.arg("fn", fn.name());
         live = std::make_unique<analysis::Liveness>(fn);
     }
+    if (measure_mem)
+        result.mem.liveness_peak_bytes = stageMemPeak();
 
     TraceScope sched_span("schedule");
     sched_span.arg("fn", fn.name())
@@ -228,6 +254,10 @@ runPipeline(ir::Function &fn, const PipelineOptions &options)
     }
     TraceCollector::instance().addCounter("ops_scheduled",
                                           scheduled_ops);
+    if (measure_mem)
+        result.mem.schedule_peak_bytes = stageMemPeak();
+    result.mem.sched_arena_high_water_bytes =
+        schedArenaHighWaterBytes();
     return result;
 }
 
@@ -288,8 +318,10 @@ runPipelineParallel(const std::vector<PipelineJob> &jobs,
 
     if (!pool && num_threads == 1) {
         // Inline path: no pool, same code, same results.
-        for (const PipelineJob &job : jobs)
+        for (const PipelineJob &job : jobs) {
             results.push_back(runOneJob(job));
+            results.back().job_index = results.size() - 1;
+        }
         return results;
     }
 
@@ -307,8 +339,153 @@ runPipelineParallel(const std::vector<PipelineJob> &jobs,
         futures.push_back(
             workers.submit([&job] { return runOneJob(job); }));
     }
-    for (auto &future : futures)
+    for (auto &future : futures) {
         results.push_back(future.get());
+        results.back().job_index = results.size() - 1;
+    }
+    return results;
+}
+
+std::vector<PipelineJobResult>
+runPipelineParallel(const std::vector<PipelineJob> &jobs,
+                    const ParallelRunOptions &run)
+{
+    if (!run.gate && run.mem_budget_bytes == 0 && !run.sink)
+        return runPipelineParallel(jobs, run.num_threads, run.pool);
+
+    std::unique_ptr<support::MemoryGate> local_gate;
+    support::MemoryGate *gate = run.gate;
+    if (!gate) {
+        local_gate = std::make_unique<support::MemoryGate>(
+            run.mem_budget_bytes);
+        gate = local_gate.get();
+    }
+
+    // Project every job's peak up front, then admit in ROMA order:
+    // largest projected peak first among the jobs that currently fit.
+    // Ties (and the whole scan) break by input index, so admission
+    // order is deterministic.
+    struct Candidate
+    {
+        size_t index;
+        uint64_t projected;
+    };
+    std::vector<Candidate> waiting;
+    waiting.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        waiting.push_back({i, estimateJobPeakBytes(jobs[i])});
+    // An unlimited gate (budget 0, reached via sink-only runs) admits
+    // everything on the first scan; keep that submission plain FIFO.
+    if (gate->budgetBytes() > 0) {
+        std::stable_sort(waiting.begin(), waiting.end(),
+                         [](const Candidate &a, const Candidate &b) {
+                             return a.projected > b.projected;
+                         });
+    }
+
+    if (!run.pool && run.num_threads == 1) {
+        // Inline path: one job at a time, so the budget is trivially
+        // respected and admission order is irrelevant to the peak;
+        // reservations still flow through the gate so its telemetry
+        // (high water) covers this path too.
+        std::vector<uint64_t> projected(jobs.size(), 0);
+        for (const Candidate &c : waiting)
+            projected[c.index] = c.projected;
+        std::vector<PipelineJobResult> results;
+        if (!run.sink)
+            results.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            while (!gate->tryAdmit(projected[i]))
+                gate->waitForRelease(gate->generation());
+            PipelineJobResult result = runOneJob(jobs[i]);
+            result.projected_peak_bytes = projected[i];
+            result.job_index = i;
+            if (run.sink)
+                run.sink(std::move(result));
+            else
+                results.push_back(std::move(result));
+            // Free the retained scheduling arena before handing the
+            // reservation back: what the gate re-admits against must
+            // actually be available.
+            if (gate->budgetBytes() > 0)
+                schedArenaTrim();
+            gate->release(projected[i]);
+        }
+        return results;
+    }
+
+    std::unique_ptr<support::ThreadPool> local_pool;
+    if (!run.pool) {
+        local_pool =
+            std::make_unique<support::ThreadPool>(run.num_threads);
+    }
+    support::ThreadPool &workers =
+        run.pool ? *run.pool : *local_pool;
+
+    // The coordinator (this thread) is the only one that ever waits
+    // on the gate; workers just run jobs and release, so admission
+    // cannot deadlock the pool. Workers either park their result in
+    // their job's slot (gathered in input order below) or, with a
+    // sink, hand it off as soon as it exists so its memory dies with
+    // the job.
+    std::mutex sink_mutex;
+    std::vector<std::optional<PipelineJobResult>> slots(jobs.size());
+    std::vector<std::future<void>> futures(jobs.size());
+    while (!waiting.empty()) {
+        const uint64_t gen = gate->generation();
+        bool admitted_any = false;
+        for (auto it = waiting.begin(); it != waiting.end();) {
+            if (!gate->tryAdmit(it->projected)) {
+                ++it;
+                continue;
+            }
+            admitted_any = true;
+            const size_t index = it->index;
+            const uint64_t projected = it->projected;
+            futures[index] = workers.submit([&jobs, &run, &slots,
+                                             &sink_mutex, gate, index,
+                                             projected] {
+                // Release on every exit path, including a throwing
+                // pipeline, or the coordinator would wait forever.
+                // Trim this worker's retained scheduling arena first:
+                // memory a worker keeps between jobs would otherwise
+                // accumulate outside the budget, and what the gate
+                // re-admits against must actually be available.
+                struct Release
+                {
+                    support::MemoryGate *gate;
+                    uint64_t bytes;
+                    ~Release()
+                    {
+                        if (gate->budgetBytes() > 0)
+                            schedArenaTrim();
+                        gate->release(bytes);
+                    }
+                } release{gate, projected};
+                PipelineJobResult result = runOneJob(jobs[index]);
+                result.projected_peak_bytes = projected;
+                result.job_index = index;
+                if (run.sink) {
+                    std::lock_guard<std::mutex> lock(sink_mutex);
+                    run.sink(std::move(result));
+                } else {
+                    slots[index].emplace(std::move(result));
+                }
+            });
+            it = waiting.erase(it);
+        }
+        if (!waiting.empty() && !admitted_any)
+            gate->waitForRelease(gen);
+    }
+
+    for (auto &future : futures)
+        future.get();
+    std::vector<PipelineJobResult> results;
+    if (!run.sink) {
+        results.reserve(jobs.size());
+        for (auto &slot : slots)
+            results.push_back(std::move(*slot));
+    }
     return results;
 }
 

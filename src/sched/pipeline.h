@@ -17,6 +17,7 @@
 #ifndef TREEGION_SCHED_PIPELINE_H
 #define TREEGION_SCHED_PIPELINE_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,24 @@ bool parsePipelineOptions(const std::string &text,
                           PipelineOptions &out,
                           std::string *error = nullptr);
 
+/**
+ * Peak heap footprint per pipeline stage, in bytes of growth above
+ * the live bytes at stage entry. Filled only when an allocation
+ * interposer feeds support/memstat.h AND the caller enabled
+ * memstatSetStageProfiling (calibration and mem tests), and only
+ * meaningfully when one thread compiles at a time — the window
+ * counters are process-global. sched_arena_high_water_bytes is the
+ * calling thread's scheduling-arena high-water mark and is filled
+ * unconditionally.
+ */
+struct StageMemStats
+{
+    uint64_t formation_peak_bytes = 0;
+    uint64_t liveness_peak_bytes = 0;
+    uint64_t schedule_peak_bytes = 0;
+    uint64_t sched_arena_high_water_bytes = 0;
+};
+
 /** Everything the experiments need from one pipeline run. */
 struct PipelineResult
 {
@@ -89,6 +108,7 @@ struct PipelineResult
     double estimated_time = 0.0;
     double code_expansion = 1.0;  ///< vs. the pre-formation function
     RegionSchedStats total_sched_stats;
+    StageMemStats mem;  ///< per-stage peak-footprint telemetry
 };
 
 /**
@@ -152,6 +172,13 @@ struct PipelineJobResult
      * private to the job, so its order is deterministic and identical
      * for any worker count. */
     support::RemarkStream remarks;
+    /** The admission gate's reservation for this job (0 when the run
+     * was unbudgeted). */
+    uint64_t projected_peak_bytes = 0;
+    /** Index of the job in the submitted batch. Sink consumers see
+     * results in completion order; this is how they restore input
+     * order without retaining whole results. */
+    size_t job_index = 0;
 };
 
 /**
@@ -169,6 +196,53 @@ std::vector<PipelineJobResult>
 runPipelineParallel(const std::vector<PipelineJob> &jobs,
                     size_t num_threads = 0,
                     support::ThreadPool *pool = nullptr);
+
+/** Configuration for a budgeted runPipelineParallel run. */
+struct ParallelRunOptions
+{
+    /** Worker count; 0 = one per hardware thread. */
+    size_t num_threads = 0;
+    /** Reuse an existing pool (num_threads is then ignored). */
+    support::ThreadPool *pool = nullptr;
+    /**
+     * Peak-memory budget in bytes; 0 = unbudgeted FIFO (identical to
+     * the plain overload). When set, jobs are admitted through a
+     * support::MemoryGate: a job is submitted to the pool only once
+     * its projected peak (sched/mem_estimate.h) fits under what
+     * remains of the budget, largest-projected-first among the jobs
+     * that fit — the ROMA ordering, which minimizes the makespan
+     * cost of the memory ceiling. A job projected over the whole
+     * budget runs solo instead of deadlocking.
+     */
+    uint64_t mem_budget_bytes = 0;
+    /**
+     * Reserve through this gate instead of a private one (its budget
+     * wins over mem_budget_bytes). Lets tests and benches observe
+     * inUseBytes/highWaterBytes across the run.
+     */
+    support::MemoryGate *gate = nullptr;
+    /**
+     * Consume each result as its job completes instead of returning
+     * the batch: when set, every PipelineJobResult is handed to this
+     * callback (calls are serialized, but completion order depends
+     * on the pool interleaving) and runPipelineParallel returns an
+     * empty vector. Retaining a whole batch's results makes live
+     * memory grow with the batch no matter when jobs start, which
+     * swamps any admission policy — streaming consumption is what
+     * keeps the peak proportional to the jobs actually in flight,
+     * so budgeted batch drivers should always set a sink.
+     */
+    std::function<void(PipelineJobResult &&)> sink;
+};
+
+/**
+ * runPipelineParallel with memory-budgeted admission. Results are
+ * still returned in input order and are bit-identical to the
+ * unbudgeted path — the budget only changes when each job starts.
+ */
+std::vector<PipelineJobResult>
+runPipelineParallel(const std::vector<PipelineJob> &jobs,
+                    const ParallelRunOptions &run);
 
 } // namespace treegion::sched
 

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dense per-class register rename table with an undo journal.
+ *
+ * Semantically a map<Reg, Reg> copied by value at every point where
+ * lowering paths diverge (sibling subtrees of a treegion, the
+ * internal edges of a hyperblock DAG). Copying a hash map per
+ * divergence is O(accumulated renames) of allocation and hashing per
+ * copy; this table instead keeps ONE dense array per register class,
+ * shared by the whole walk, plus an undo journal: take mark() before
+ * entering a diverging path, rollback() after, and the table is
+ * exactly what a by-value copy would have given the sibling
+ * (DESIGN.md §11; ROADMAP item 3's follow-on ported the hyperblock
+ * lowering here too).
+ *
+ * Iteration (forEachPresent) is in key insertion order — a property
+ * the hyperblock merge relies on for deterministic, platform-
+ * independent output where the old unordered containers were not.
+ */
+
+#ifndef TREEGION_SCHED_RENAME_TABLE_H
+#define TREEGION_SCHED_RENAME_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+#include "support/logging.h"
+
+namespace treegion::sched {
+
+/** Journaled dense Reg -> Reg map; see the file header. */
+class RenameTable
+{
+  public:
+    explicit RenameTable(const ir::Function &fn)
+    {
+        slots_[slotClass(ir::RegClass::Gpr)].resize(fn.numGprs());
+        slots_[slotClass(ir::RegClass::Pred)].resize(fn.numPreds());
+        slots_[slotClass(ir::RegClass::Btr)].resize(fn.numBtrs());
+    }
+
+    /** @return the current renaming of @p orig, or nullptr. */
+    const ir::Reg *
+    find(ir::Reg orig) const
+    {
+        const auto &slots = slots_[slotClass(orig.cls)];
+        if (orig.idx >= slots.size() || !slots[orig.idx].present)
+            return nullptr;
+        return &slots[orig.idx].val;
+    }
+
+    /** Map @p orig to @p renamed (journaled). */
+    void
+    set(ir::Reg orig, ir::Reg renamed)
+    {
+        auto &slots = slots_[slotClass(orig.cls)];
+        if (orig.idx >= slots.size())
+            slots.resize(orig.idx + 1);
+        Entry &entry = slots[orig.idx];
+        journal_.push_back({orig, entry.val, entry.present != 0});
+        if (!entry.present)
+            keys_.push_back(orig);
+        entry.val = renamed;
+        entry.present = 1;
+    }
+
+    /** Undo point for rollback(). */
+    size_t mark() const { return journal_.size(); }
+
+    /** Restore the table to the state at @p mark. */
+    void
+    rollback(size_t mark)
+    {
+        while (journal_.size() > mark) {
+            const Undo &undo = journal_.back();
+            Entry &entry =
+                slots_[slotClass(undo.orig.cls)][undo.orig.idx];
+            if (undo.was_present) {
+                entry.val = undo.prev;
+            } else {
+                entry.present = 0;
+                TG_ASSERT(!keys_.empty() && keys_.back() == undo.orig);
+                keys_.pop_back();
+            }
+            journal_.pop_back();
+        }
+    }
+
+    /** Visit every present (orig, renamed) pair, insertion order. */
+    template <typename F>
+    void
+    forEachPresent(F &&f) const
+    {
+        for (const ir::Reg orig : keys_) {
+            const auto &slots = slots_[slotClass(orig.cls)];
+            f(orig, slots[orig.idx].val);
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        ir::Reg val{};
+        uint8_t present = 0;
+    };
+    struct Undo
+    {
+        ir::Reg orig;
+        ir::Reg prev;
+        bool was_present;
+    };
+
+    static size_t
+    slotClass(ir::RegClass cls)
+    {
+        return static_cast<size_t>(cls);
+    }
+
+    std::vector<Entry> slots_[3];
+    std::vector<ir::Reg> keys_;  ///< present keys, oldest first
+    std::vector<Undo> journal_;
+};
+
+} // namespace treegion::sched
+
+#endif // TREEGION_SCHED_RENAME_TABLE_H

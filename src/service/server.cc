@@ -19,6 +19,7 @@
 #include "ir/parser.h"
 #include "ir/verifier.h"
 #include "sched/list_scheduler.h"
+#include "sched/mem_estimate.h"
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
 #include "support/logging.h"
@@ -718,27 +719,96 @@ Server::dispatchCompile(Conn &conn, uint64_t seq, Request req)
         return;
     }
 
-    // Admission control: never let the queue grow past queue_limit —
-    // answer with backpressure and a retry hint instead.
-    size_t admitted = admitted_.load();
-    do {
-        if (admitted >= options_.queue_limit) {
-            metrics_.add("backpressure_rejections");
+    // Memory admission: a compile whose projected peak does not fit
+    // next to the in-flight total is parked (bounded) instead of
+    // dispatched, so the aggregate projection of everything running
+    // stays under the budget. Parked compiles re-enter largest-first
+    // as finishing compiles release their reservations.
+    const uint64_t projected = projectedPeakBytes(req);
+    if (projected > 0 && !memFits(projected)) {
+        if (mem_parked_.size() >= options_.queue_limit) {
+            metrics_.add("mem_rejected");
             Response resp = makeError(
                 status::kRejected,
-                support::strprintf("queue full (%zu in flight)",
-                                   admitted));
+                support::strprintf(
+                    "memory budget exhausted (%zu compiles parked)",
+                    mem_parked_.size()));
             resp.retry_after_ms = retryAfterHintMs();
             answerNow(std::move(resp));
             return;
         }
+        metrics_.add("mem_queued");
+        ++conn.inflight;
+        jobs_inflight_.fetch_add(1);
+        mem_parked_.push_back(ParkedCompile{
+            conn.id, seq, enqueue_ms, projected, std::move(req)});
+        return;
+    }
+
+    if (!submitCompile(conn, seq, enqueue_ms, projected,
+                       std::move(req), /*counted=*/false)) {
+        // Admission control: never let the queue grow past
+        // queue_limit — answer with backpressure and a retry hint.
+        metrics_.add("backpressure_rejections");
+        Response resp = makeError(
+            status::kRejected,
+            support::strprintf("queue full (%zu in flight)",
+                               admitted_.load()));
+        resp.retry_after_ms = retryAfterHintMs();
+        answerNow(std::move(resp));
+    }
+}
+
+uint64_t
+Server::projectedPeakBytes(const Request &req) const
+{
+    if (options_.mem_budget_bytes == 0)
+        return 0;
+    // A malformed options line projects as the defaults; compileNow
+    // answers the parse error either way, cheaply.
+    sched::PipelineOptions opts;
+    if (!req.options.empty()) {
+        std::string error;
+        if (!sched::parsePipelineOptions(req.options, opts, &error))
+            opts = sched::PipelineOptions{};
+    }
+    const sched::MemShape shape =
+        sched::estimateShapeFromText(req.module_text);
+    return sched::estimatePeakBytes(shape, opts);
+}
+
+bool
+Server::memFits(uint64_t projected) const
+{
+    // Mirrors support::MemoryGate's progress rule: with nothing
+    // reserved, any request fits — an oversized compile runs solo
+    // rather than being starved forever.
+    return mem_projected_inflight_ == 0 ||
+           mem_projected_inflight_ + projected <=
+               options_.mem_budget_bytes;
+}
+
+bool
+Server::submitCompile(Conn &conn, uint64_t seq, int64_t enqueue_ms,
+                      uint64_t projected, Request &&req, bool counted)
+{
+    size_t admitted = admitted_.load();
+    do {
+        if (admitted >= options_.queue_limit)
+            return false;
     } while (
         !admitted_.compare_exchange_weak(admitted, admitted + 1));
 
-    ++conn.inflight;
-    jobs_inflight_.fetch_add(1);
+    if (!counted) {
+        ++conn.inflight;
+        jobs_inflight_.fetch_add(1);
+    }
+    if (projected > 0) {
+        mem_projected_inflight_ += projected;
+        metrics_.set("mem_projected_bytes", mem_projected_inflight_);
+    }
     const uint64_t conn_id = conn.id;
-    pool_->submit([this, conn_id, seq, enqueue_ms,
+    pool_->submit([this, conn_id, seq, enqueue_ms, projected,
                    req = std::move(req)]() mutable {
         if (options_.debug_queue_delay_ms > 0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(
@@ -768,14 +838,50 @@ Server::dispatchCompile(Conn &conn, uint64_t seq, Request req)
 
         {
             std::lock_guard<std::mutex> lock(completions_mutex_);
-            completions_.push_back(
-                Completion{conn_id, seq, encodeResponse(resp)});
+            completions_.push_back(Completion{
+                conn_id, seq, encodeResponse(resp), projected});
         }
         jobs_inflight_.fetch_sub(1);
         const char byte = 'w';
         [[maybe_unused]] const ssize_t n =
             ::write(wake_pipe_[1], &byte, 1);
     });
+    return true;
+}
+
+void
+Server::admitParked()
+{
+    // Largest-projected-first among the compiles that fit — the same
+    // ROMA ordering as the driver's gate; the stable sort keeps
+    // equal projections in arrival order. Entries that still don't
+    // fit (or find the pool queue full) stay parked and retry on the
+    // next completion.
+    std::stable_sort(
+        mem_parked_.begin(), mem_parked_.end(),
+        [](const ParkedCompile &a, const ParkedCompile &b) {
+            return a.projected > b.projected;
+        });
+    for (size_t i = 0; i < mem_parked_.size();) {
+        ParkedCompile &parked = mem_parked_[i];
+        auto it = conns_.find(parked.conn_id);
+        if (it == conns_.end()) {
+            // The peer vanished while parked: drop the compile. Its
+            // conn.inflight count died with the connection; the
+            // loop-liveness count is still ours to return.
+            jobs_inflight_.fetch_sub(1);
+            mem_parked_.erase(mem_parked_.begin() + i);
+            continue;
+        }
+        if (memFits(parked.projected) &&
+            submitCompile(*it->second, parked.seq, parked.enqueue_ms,
+                          parked.projected, std::move(parked.req),
+                          /*counted=*/true)) {
+            mem_parked_.erase(mem_parked_.begin() + i);
+        } else {
+            ++i;
+        }
+    }
 }
 
 void
@@ -787,6 +893,14 @@ Server::drainCompletions()
         batch.swap(completions_);
     }
     for (Completion &done : batch) {
+        if (done.projected > 0) {
+            // Release the memory reservation even when the peer
+            // vanished — the compile ran and its footprint is gone.
+            TG_ASSERT(mem_projected_inflight_ >= done.projected);
+            mem_projected_inflight_ -= done.projected;
+            metrics_.set("mem_projected_bytes",
+                         mem_projected_inflight_);
+        }
         auto it = conns_.find(done.conn_id);
         if (it == conns_.end())
             continue;  // the peer vanished mid-compile
@@ -798,6 +912,8 @@ Server::drainCompletions()
         if (again != conns_.end())
             flushWrites(*again->second);
     }
+    if (!mem_parked_.empty())
+        admitParked();
 }
 
 void
@@ -1046,11 +1162,19 @@ Server::forwardFill(size_t owner_index, const CacheKey &key,
 int64_t
 Server::retryAfterHintMs() const
 {
-    // Suggest roughly one median request service time, bounded so a
-    // cold histogram still gives a sane hint.
-    const double p50 = metrics_.histogram("request_ms").p50();
+    // Suggest roughly one median request service time. An empty
+    // histogram (daemon just started, nothing compiled yet) used to
+    // fall through as p50 == 0 and clamp to the 10 ms minimum — a
+    // hint that made every backed-off client hammer a server that had
+    // told them nothing about its service time. Cold servers now hint
+    // a flat default instead of the minimum.
+    const support::Histogram requests =
+        metrics_.histogram("request_ms");
+    if (requests.count() == 0)
+        return kColdRetryHintMs;
     return std::min<int64_t>(
-        1000, std::max<int64_t>(10, static_cast<int64_t>(p50)));
+        1000,
+        std::max<int64_t>(10, static_cast<int64_t>(requests.p50())));
 }
 
 std::string
@@ -1082,10 +1206,17 @@ Server::statsJson() const
        << support::strprintf(
               "{\"threads\":%zu,\"queue_limit\":%zu,"
               "\"max_connections\":%zu,\"max_frame_bytes\":%zu,"
+              "\"mem_budget_bytes\":%llu,"
+              "\"mem_projected_bytes\":%llu,\"mem_parked\":%zu,"
               "\"draining\":%s}",
               pool_ ? pool_->numThreads() : options_.threads,
               options_.queue_limit, options_.max_connections,
               options_.max_frame_bytes,
+              static_cast<unsigned long long>(
+                  options_.mem_budget_bytes),
+              static_cast<unsigned long long>(
+                  mem_projected_inflight_),
+              mem_parked_.size(),
               stopping_.load() ? "true" : "false")
        << "}";
     return os.str();

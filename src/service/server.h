@@ -72,6 +72,14 @@
 
 namespace treegion::service {
 
+/**
+ * retryAfterHintMs() fallback while the request histogram is still
+ * empty: a cold daemon has measured nothing, so it hints a flat
+ * default instead of the clamp floor (which told backed-off clients
+ * to come back almost immediately). Pinned by service_test.cc.
+ */
+constexpr int64_t kColdRetryHintMs = 50;
+
 /** Everything configurable about a Server. */
 struct ServerOptions
 {
@@ -132,6 +140,19 @@ struct ServerOptions
      * the per-request service time in the cluster capacity bench.
      */
     int64_t debug_queue_delay_ms = 0;
+
+    /**
+     * Peak-memory admission budget in bytes; 0 = no memory gate.
+     * When set, every compile request's peak footprint is projected
+     * from its module and options (sched/mem_estimate.h) before
+     * dispatch. Requests whose projection does not fit next to the
+     * in-flight total are parked (largest-fitting-first re-admission
+     * as compiles finish) rather than dispatched; parked requests
+     * beyond queue_limit are rejected with a retry hint. A request
+     * projected over the entire budget runs solo instead of being
+     * rejected, mirroring support::MemoryGate's progress rule.
+     */
+    uint64_t mem_budget_bytes = 0;
 };
 
 /** A running compile server (see the file header for the model). */
@@ -207,6 +228,18 @@ class Server
         uint64_t conn_id = 0;
         uint64_t seq = 0;
         std::string encoded;
+        /** Memory reservation to release on delivery (0 = none). */
+        uint64_t projected = 0;
+    };
+
+    /** A compile parked by the memory gate, awaiting headroom. */
+    struct ParkedCompile
+    {
+        uint64_t conn_id = 0;
+        uint64_t seq = 0;
+        int64_t enqueue_ms = 0;   ///< original arrival time
+        uint64_t projected = 0;   ///< projected peak footprint
+        Request req;
     };
 
     void eventLoop();
@@ -221,6 +254,21 @@ class Server
     /** Admission-check @p req and either answer inline or dispatch
      * the compile to the pool. */
     void dispatchCompile(Conn &conn, uint64_t seq, Request req);
+    /** Projected peak compile footprint of @p req; 0 = no budget. */
+    uint64_t projectedPeakBytes(const Request &req) const;
+    /** True when @p projected fits next to the in-flight total. */
+    bool memFits(uint64_t projected) const;
+    /**
+     * Reserve a queue slot (and @p projected memory bytes) and hand
+     * the compile to the pool. @return false untouched when the
+     * queue is full. @p counted: the request already holds its
+     * conn.inflight / jobs_inflight_ counts (parked re-admission).
+     */
+    bool submitCompile(Conn &conn, uint64_t seq, int64_t enqueue_ms,
+                       uint64_t projected, Request &&req,
+                       bool counted);
+    /** Re-admit parked compiles that now fit (loop thread). */
+    void admitParked();
     void queueResponse(Conn &conn, uint64_t seq,
                        const Response &resp);
     void queueRaw(Conn &conn, uint64_t seq, std::string encoded);
@@ -283,6 +331,15 @@ class Server
 
     std::mutex completions_mutex_;
     std::vector<Completion> completions_;
+
+    /**
+     * Memory-admission state, loop-thread only (dispatch and
+     * completion delivery both run on the event loop, so no lock):
+     * the aggregate projected peak of every dispatched compile, and
+     * the compiles parked until a release makes room.
+     */
+    uint64_t mem_projected_inflight_ = 0;
+    std::vector<ParkedCompile> mem_parked_;
 
     uint64_t next_conn_id_ = 16;  ///< ids below are listeners/pipes
     std::map<uint64_t, std::unique_ptr<Conn>> conns_;

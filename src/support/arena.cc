@@ -2,7 +2,10 @@
 
 namespace treegion::support {
 
-Arena::Arena(size_t first_block) : next_block_size_(first_block) {}
+Arena::Arena(size_t first_block)
+    : next_block_size_(first_block), first_block_size_(first_block)
+{
+}
 
 Arena::~Arena()
 {
@@ -27,6 +30,25 @@ Arena::reset()
     } else {
         ptr_ = end_ = nullptr;
     }
+}
+
+void
+Arena::trim()
+{
+    reset();
+    Block *b = head_;
+    while (b) {
+        Block *next = b->next;
+        ::operator delete(static_cast<void *>(b));
+        b = next;
+    }
+    head_ = cur_ = nullptr;
+    ptr_ = end_ = nullptr;
+    capacity_ = 0;
+    // Without this, trim-per-job runs would double the first block
+    // on every job (refill doubles next_block_size_ each time it
+    // allocates) and the arena would grow without bound.
+    next_block_size_ = first_block_size_;
 }
 
 void *

@@ -92,6 +92,16 @@ class Arena
      */
     void reset();
 
+    /**
+     * reset(), then return every block to the allocator and start
+     * block sizing over from the constructor's first_block. The
+     * arena's idle footprint drops to zero at the price of regrowing
+     * on the next job — the trade memory-budgeted drivers make so a
+     * worker's retained arena cannot escape the budget between jobs.
+     * The high-water mark survives (it describes past jobs).
+     */
+    void trim();
+
     /** Bytes handed out since the last reset (including padding). */
     size_t used() const { return used_; }
 
@@ -120,6 +130,7 @@ class Arena
     size_t high_water_ = 0;
     size_t capacity_ = 0;
     size_t next_block_size_;
+    const size_t first_block_size_;  ///< trim() restarts sizing here
 };
 
 /**

@@ -49,13 +49,21 @@ ThreadPool::enqueue(std::function<void()> task)
         std::lock_guard<std::mutex> lock(workers_[target]->mutex);
         workers_[target]->tasks.push_back(std::move(task));
     }
-    pending_.fetch_add(1, std::memory_order_release);
+    const size_t outstanding =
+        pending_.fetch_add(1, std::memory_order_release) + 1;
     {
         // Empty critical section pairs with the waiters' predicate
         // check so a wakeup between check and wait is never lost.
         std::lock_guard<std::mutex> lock(wake_mutex_);
     }
-    wake_cv_.notify_one();
+    // One notify per enqueue is lossy under bursts: a worker that
+    // wakes early and drains several tasks absorbs the signals meant
+    // for its siblings, which then sleep until the next enqueue. Wake
+    // everyone while more work is outstanding than one wakeup covers.
+    if (outstanding > 1)
+        wake_cv_.notify_all();
+    else
+        wake_cv_.notify_one();
 }
 
 bool
@@ -142,6 +150,60 @@ ThreadPool::parallelFor(size_t n,
     done_cv.wait(lock, [&] { return remaining == 0; });
     if (first_error)
         std::rethrow_exception(first_error);
+}
+
+bool
+MemoryGate::tryAdmit(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool unlimited = budget_ == 0;
+    const bool fits = in_use_ + bytes <= budget_;
+    if (!unlimited && !fits && in_use_ != 0)
+        return false;
+    in_use_ += bytes;
+    if (in_use_ > high_water_)
+        high_water_ = in_use_;
+    return true;
+}
+
+void
+MemoryGate::release(uint64_t bytes)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        TG_ASSERT(bytes <= in_use_, "release without admission");
+        in_use_ -= bytes;
+        ++generation_;
+    }
+    cv_.notify_all();
+}
+
+void
+MemoryGate::waitForRelease(uint64_t seen_generation)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return generation_ != seen_generation; });
+}
+
+uint64_t
+MemoryGate::generation() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return generation_;
+}
+
+uint64_t
+MemoryGate::inUseBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_use_;
+}
+
+uint64_t
+MemoryGate::highWaterBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
 }
 
 } // namespace treegion::support

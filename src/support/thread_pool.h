@@ -99,6 +99,76 @@ class ThreadPool
     std::atomic<bool> stop_{false};
 };
 
+/**
+ * Byte-budget admission gate for memory-bounded job scheduling.
+ *
+ * A coordinator (sched::runPipelineParallel, treegiond's admission)
+ * reserves each job's projected peak footprint before submitting it
+ * to the pool and releases the reservation when the job finishes, so
+ * the aggregate projected peak of everything running never exceeds
+ * the budget (the memory-bounded schedules of the ROMA papers —
+ * Eyraud-Dubois et al.). Pool workers themselves never block on the
+ * gate; only the coordinator waits, so admission can never deadlock
+ * the pool.
+ *
+ * Progress guarantee: tryAdmit always succeeds when nothing is
+ * admitted, whatever the request size. A job projected larger than
+ * the whole budget therefore runs — solo, since while it holds more
+ * than the budget nothing else fits — instead of waiting forever.
+ */
+class MemoryGate
+{
+  public:
+    /** @param budget_bytes byte ceiling; 0 = unlimited. */
+    explicit MemoryGate(uint64_t budget_bytes)
+        : budget_(budget_bytes)
+    {
+    }
+
+    MemoryGate(const MemoryGate &) = delete;
+    MemoryGate &operator=(const MemoryGate &) = delete;
+
+    /**
+     * Reserve @p bytes if they fit under the budget (or nothing is
+     * currently admitted — see the progress guarantee above).
+     * @return true and record the reservation, or false untouched.
+     */
+    bool tryAdmit(uint64_t bytes);
+
+    /** Return @p bytes reserved by a successful tryAdmit. */
+    void release(uint64_t bytes);
+
+    /**
+     * Block until the gate changes from the state observed as
+     * @p seen_generation (a release happened), then return. Spurious
+     * returns are fine: callers re-scan their candidates anyway.
+     */
+    void waitForRelease(uint64_t seen_generation);
+
+    /** Opaque state stamp for waitForRelease. */
+    uint64_t generation() const;
+
+    /** @return the configured budget (0 = unlimited). */
+    uint64_t budgetBytes() const { return budget_; }
+
+    /** @return currently reserved bytes. */
+    uint64_t inUseBytes() const;
+
+    /**
+     * @return the largest reservation total ever observed. Exceeds
+     * the budget only if an oversized job was admitted solo.
+     */
+    uint64_t highWaterBytes() const;
+
+  private:
+    const uint64_t budget_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    uint64_t in_use_ = 0;
+    uint64_t high_water_ = 0;
+    uint64_t generation_ = 0;
+};
+
 } // namespace treegion::support
 
 #endif // TREEGION_SUPPORT_THREAD_POOL_H

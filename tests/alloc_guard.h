@@ -14,6 +14,12 @@
  * under test is "the scheduler performs no heap allocation", and
  * tearing down inputs that were built before the guard started is
  * legitimate.
+ *
+ * The interposer additionally forwards every allocation and free
+ * (with its usable size) to support/memstat.h, which is how the
+ * memory-estimator calibration and the memsched bench measure live
+ * heap bytes and peak footprint. Binaries that do not include this
+ * header never feed memstat and measure nothing.
  */
 
 #ifndef TREEGION_TESTS_ALLOC_GUARD_H
@@ -23,6 +29,10 @@
 #include <cstddef>
 #include <cstdlib>
 #include <new>
+
+#include <malloc.h>
+
+#include "support/memstat.h"
 
 namespace tg_test {
 
@@ -65,11 +75,26 @@ countedAlloc(std::size_t size, std::size_t align) noexcept
         g_allocations.fetch_add(1, std::memory_order_relaxed);
     if (size == 0)
         size = 1;
+    void *p;
     if (align > alignof(std::max_align_t)) {
         const std::size_t rounded = (size + align - 1) / align * align;
-        return std::aligned_alloc(align, rounded);
+        p = std::aligned_alloc(align, rounded);
+    } else {
+        p = std::malloc(size);
     }
-    return std::malloc(size);
+    // Feed the library's live-byte accounting (support/memstat.h):
+    // linking this interposer is what turns memory measurement on.
+    if (p)
+        treegion::support::memstatOnAlloc(::malloc_usable_size(p));
+    return p;
+}
+
+inline void
+countedFree(void *p) noexcept
+{
+    if (p)
+        treegion::support::memstatOnFree(::malloc_usable_size(p));
+    std::free(p);
 }
 
 } // namespace tg_test
@@ -130,61 +155,61 @@ operator new[](std::size_t size, const std::nothrow_t &) noexcept
 void
 operator delete(void *p) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete[](void *p) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete(void *p, std::size_t) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete[](void *p, std::size_t) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete(void *p, std::align_val_t) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete[](void *p, std::align_val_t) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete(void *p, std::size_t, std::align_val_t) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete[](void *p, std::size_t, std::align_val_t) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete(void *p, const std::nothrow_t &) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 void
 operator delete[](void *p, const std::nothrow_t &) noexcept
 {
-    std::free(p);
+    tg_test::countedFree(p);
 }
 
 #endif // TREEGION_TESTS_ALLOC_GUARD_H

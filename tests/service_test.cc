@@ -22,6 +22,7 @@
 
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "sched/mem_estimate.h"
 #include "sched/pipeline.h"
 #include "service/cache.h"
 #include "service/client.h"
@@ -634,6 +635,160 @@ TEST_F(ServiceEndToEnd, SaturatedQueueRejectsWithRetryAfter)
 
     // Once the queue drains, service resumes.
     EXPECT_EQ(callOnce(compileRequest()).status, status::kOk);
+}
+
+TEST_F(ServiceEndToEnd, ColdRetryHintIsPinned)
+{
+    ServerOptions options;
+    options.threads = 1;
+    options.queue_limit = 1;
+    options.debug_queue_delay_ms = 200;
+    startServer(std::move(options));
+
+    // Two concurrent compiles against a one-slot queue: exactly one
+    // is rejected, and it is rejected while the request histogram is
+    // still empty (the admitted compile is sleeping in the debug
+    // delay). The hint must be the documented cold floor — an empty
+    // histogram's p50 of 0 would tell clients to hammer a server
+    // that has not proven it can answer anything yet.
+    constexpr int kClients = 2;
+    std::vector<Response> responses(kClients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            responses[i] = callOnce(compileRequest());
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    int ok = 0, rejected = 0;
+    for (const auto &resp : responses) {
+        if (resp.status == status::kOk) {
+            ++ok;
+        } else {
+            ASSERT_EQ(resp.status, status::kRejected) << resp.error;
+            ++rejected;
+            EXPECT_EQ(resp.retry_after_ms, kColdRetryHintMs);
+        }
+    }
+    EXPECT_EQ(ok, 1);
+    EXPECT_EQ(rejected, 1);
+}
+
+/** The projection treegiond computes for kModule at @p options. */
+uint64_t
+projectedBytesFor(const char *pipeline_options)
+{
+    sched::PipelineOptions opts;
+    std::string error;
+    EXPECT_TRUE(
+        sched::parsePipelineOptions(pipeline_options, opts, &error))
+        << error;
+    return sched::estimatePeakBytes(
+        sched::estimateShapeFromText(kModule), opts);
+}
+
+TEST_F(ServiceEndToEnd, MemoryBudgetParksThenCompletesCompiles)
+{
+    const uint64_t projected =
+        projectedBytesFor("scheme=tree heuristic=gw width=4");
+    ASSERT_GT(projected, 0u);
+
+    ServerOptions options;
+    options.threads = 2;
+    options.debug_queue_delay_ms = 200;
+    // One projection fits, two do not: the second concurrent compile
+    // must park, then complete once the first releases its
+    // reservation.
+    options.mem_budget_bytes = projected + projected / 2;
+    startServer(std::move(options));
+
+    constexpr int kClients = 2;
+    std::vector<Response> responses(kClients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            responses[i] = callOnce(compileRequest());
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (const auto &resp : responses)
+        EXPECT_EQ(resp.status, status::kOk) << resp.error;
+    EXPECT_EQ(server_->metrics().counter("mem_queued"), 1u);
+    EXPECT_EQ(server_->metrics().counter("mem_rejected"), 0u);
+    EXPECT_EQ(server_->metrics().counter("mem_projected_bytes"), 0u)
+        << "every reservation must be released on completion";
+}
+
+TEST_F(ServiceEndToEnd, MemoryBudgetRejectsWhenParkingListIsFull)
+{
+    const uint64_t projected =
+        projectedBytesFor("scheme=tree heuristic=gw width=4");
+
+    ServerOptions options;
+    options.threads = 2;
+    options.queue_limit = 1;  // bounds the parked list too
+    options.debug_queue_delay_ms = 200;
+    options.mem_budget_bytes = projected + projected / 2;
+    startServer(std::move(options));
+
+    // Three concurrent compiles: one admitted, one parked, and the
+    // third bounces off the full parking list with a retry hint.
+    constexpr int kClients = 3;
+    std::vector<Response> responses(kClients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            responses[i] = callOnce(compileRequest());
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    int ok = 0, rejected = 0;
+    for (const auto &resp : responses) {
+        if (resp.status == status::kOk) {
+            ++ok;
+        } else {
+            ASSERT_EQ(resp.status, status::kRejected) << resp.error;
+            ++rejected;
+            EXPECT_NE(resp.error.find("memory budget"),
+                      std::string::npos)
+                << resp.error;
+            EXPECT_GE(resp.retry_after_ms, 10);
+            EXPECT_LE(resp.retry_after_ms, 1000);
+        }
+    }
+    EXPECT_EQ(ok, 2) << "the parked compile must complete";
+    EXPECT_EQ(rejected, 1);
+    EXPECT_EQ(server_->metrics().counter("mem_queued"), 1u);
+    EXPECT_EQ(server_->metrics().counter("mem_rejected"), 1u);
+
+    // The budget frees up once the batch drains.
+    EXPECT_EQ(callOnce(compileRequest()).status, status::kOk);
+}
+
+TEST_F(ServiceEndToEnd, StatsExposeMemoryAdmissionGauges)
+{
+    ServerOptions options;
+    options.mem_budget_bytes = 123456789;
+    startServer(std::move(options));
+
+    Request stats;
+    stats.verb = "stats";
+    const Response resp = callOnce(stats);
+    ASSERT_EQ(resp.status, status::kOk);
+    EXPECT_NE(resp.body.find("\"mem_budget_bytes\":123456789"),
+              std::string::npos)
+        << resp.body;
+    EXPECT_NE(resp.body.find("\"mem_projected_bytes\":0"),
+              std::string::npos)
+        << resp.body;
+    EXPECT_NE(resp.body.find("\"mem_parked\":0"), std::string::npos)
+        << resp.body;
 }
 
 TEST_F(ServiceEndToEnd, OversizedRequestIsRejected)

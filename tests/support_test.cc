@@ -729,6 +729,74 @@ TEST(ClusterBenchSchema, HistoryIsArrayOfV1Entries)
     }
 }
 
+Json
+loadMemschedBenchHistory()
+{
+    std::ifstream in(TREEGION_MEMSCHED_BENCH_JSON);
+    EXPECT_TRUE(in.good()) << "missing " << TREEGION_MEMSCHED_BENCH_JSON;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return JsonParser(ss.str()).parse();
+}
+
+/** The frontier points throughput_memsched emits, in emission order. */
+const char *const kMemschedConfigNames[] = {
+    "fifo", "budget-75", "budget-50", "budget-35",
+};
+
+TEST(MemschedBenchSchema, HistoryIsArrayOfV1Entries)
+{
+    const Json hist = loadMemschedBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    ASSERT_FALSE(hist.arr.empty());
+    for (const Json &entry : hist.arr) {
+        ASSERT_EQ(entry.kind, Json::Kind::Obj);
+        EXPECT_EQ(entry["schema"].str, "treegion-memsched-bench/v1");
+        EXPECT_FALSE(entry["label"].str.empty());
+        EXPECT_GT(entry["jobs"].num, 0.0);
+        EXPECT_GT(entry["threads"].num, 1.0)
+            << "budgeted admission is only exercised concurrently";
+        const Json &configs = entry["configs"];
+        ASSERT_EQ(configs.kind, Json::Kind::Arr);
+        ASSERT_EQ(configs.arr.size(),
+                  std::size(kMemschedConfigNames));
+        for (size_t i = 0; i < configs.arr.size(); ++i) {
+            const Json &c = configs.arr[i];
+            EXPECT_EQ(c["name"].str, kMemschedConfigNames[i]);
+            EXPECT_GT(c["peak_bytes"].num, 0.0);
+            EXPECT_GT(c["makespan_s"].num, 0.0);
+            EXPECT_NEAR(c["jobs_per_s"].num,
+                        entry["jobs"].num / c["makespan_s"].num,
+                        0.01 * c["jobs_per_s"].num);
+        }
+        // The unbudgeted baseline leads; budgets tighten after it.
+        EXPECT_EQ(configs.arr[0]["budget_bytes"].num, 0.0);
+        for (size_t i = 2; i < configs.arr.size(); ++i) {
+            EXPECT_LT(configs.arr[i]["budget_bytes"].num,
+                      configs.arr[i - 1]["budget_bytes"].num);
+        }
+    }
+}
+
+TEST(MemschedBenchSchema, FrontierMeetsTheAcceptanceBar)
+{
+    // The committed baseline must demonstrate ISSUE 8's bar: at the
+    // tightest budget, peak memory drops >= 30% below unbudgeted
+    // FIFO while the makespan inflates <= 15%.
+    const Json hist = loadMemschedBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    ASSERT_FALSE(hist.arr.empty());
+    const Json &configs = hist.arr.back()["configs"];
+    const Json &fifo = configs.arr.front();
+    const Json &tightest = configs.arr.back();
+    EXPECT_LE(tightest["peak_bytes"].num,
+              0.70 * fifo["peak_bytes"].num)
+        << "committed memsched baseline lost its peak reduction";
+    EXPECT_LE(tightest["makespan_s"].num,
+              1.15 * fifo["makespan_s"].num)
+        << "committed memsched baseline pays too much makespan";
+}
+
 TEST(ClusterBenchSchema, WarmScalingMeetsTheAcceptanceBar)
 {
     // The committed baseline must demonstrate >= 3x warm throughput

@@ -134,6 +134,34 @@ TEST(ThreadPool, TasksRunOnMultipleThreads)
     EXPECT_LE(ids.size(), 4u);
 }
 
+TEST(ThreadPool, BurstSubmissionEngagesAllWorkers)
+{
+    ThreadPool pool(4);
+    // Let every worker park on the wake cv before the burst arrives.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::atomic<int> current{0};
+    std::atomic<int> max_seen{0};
+    constexpr int kTasks = 16;
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit([&] {
+            const int now = current.fetch_add(1) + 1;
+            int prev = max_seen.load();
+            while (now > prev &&
+                   !max_seen.compare_exchange_weak(prev, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            current.fetch_sub(1);
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    // If burst admission woke only one worker, it would drain the
+    // whole queue serially and peak concurrency would stay at 1.
+    EXPECT_GE(max_seen.load(), 2);
+}
+
 TEST(ThreadPool, DestructorDrainsPendingTasks)
 {
     std::atomic<int> done{0};

@@ -27,6 +27,11 @@
  *
  * Batch compilation (sharded over a work-stealing thread pool):
  *   -j N | --jobs N      worker threads (default 1; 0 = all cores)
+ *   --mem-budget-mb N    admit jobs through a peak-memory budget of
+ *                        N MiB: a job starts only when its projected
+ *                        peak (sched/mem_estimate.h) fits next to
+ *                        the jobs already running, largest first; an
+ *                        oversized job runs solo (default 0 = off)
  *   --all-functions      compile every function in the module
  *   --sweep              compile every scheme x heuristic config
  *   --trace-json FILE    dump per-stage Chrome trace events to FILE
@@ -88,6 +93,7 @@ struct CliOptions
     bool run = false;
     uint64_t run_seed = 1;
     size_t jobs = 1;
+    uint64_t mem_budget_bytes = 0;
     bool all_functions = false;
     bool sweep = false;
     std::string trace_json;
@@ -250,46 +256,76 @@ runBatch(const std::vector<ir::Function *> &fns, const CliOptions &cli)
                  cli.jobs == 0 ? support::ThreadPool::hardwareThreads()
                                : cli.jobs);
 
-    const auto results = sched::runPipelineParallel(batch, cli.jobs);
+    // Results are streamed through a sink and reduced to their
+    // formatted report lines on the spot, so the driver retains a
+    // few strings per job instead of every schedule and function
+    // clone — under --mem-budget-mb the batch's resident peak is
+    // otherwise dominated by retained results the admission gate
+    // cannot govern. Output stays in input order (and bit-identical
+    // to the retained path) because everything is re-emitted from
+    // the per-index buffers below.
+    std::vector<std::string> report_lines(batch.size());
+    std::vector<std::string> verify_lines(batch.size());
+    std::vector<std::string> remark_chunks(batch.size());
+    std::vector<char> verify_failed(batch.size(), 0);
+    const bool want_remarks = !cli.remarks_path.empty();
 
-    int failures = 0;
-    for (size_t i = 0; i < results.size(); ++i) {
-        const auto &jr = results[i];
+    sched::ParallelRunOptions run;
+    run.num_threads = cli.jobs;
+    run.mem_budget_bytes = cli.mem_budget_bytes;
+    run.sink = [&](sched::PipelineJobResult &&jr) {
+        const size_t i = jr.job_index;
         const auto problems = sched::verifyFunctionSchedule(
-            jr.result.schedule,
-            batch[i].options.model.issue_width);
-        for (const auto &p : problems)
-            std::fprintf(stderr, "%s: schedule verifier: %s\n",
-                         jr.label.c_str(), p.c_str());
-        failures += problems.empty() ? 0 : 1;
+            jr.result.schedule, batch[i].options.model.issue_width);
+        for (const auto &p : problems) {
+            verify_lines[i] +=
+                jr.label + ": schedule verifier: " + p + "\n";
+        }
+        verify_failed[i] = problems.empty() ? 0 : 1;
 
         const double baseline = baselines[i / configs.size()];
-        std::printf("%-28s %4zu regions  %10.0f cycles  "
-                    "speedup %5.2fx%s\n",
-                    jr.label.c_str(),
-                    jr.result.schedule.regions.size(),
-                    jr.result.estimated_time,
-                    baseline / jr.result.estimated_time,
-                    problems.empty() ? "" : "  [VERIFY FAILED]");
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "%-28s %4zu regions  %10.0f cycles  "
+                      "speedup %5.2fx%s\n",
+                      jr.label.c_str(),
+                      jr.result.schedule.regions.size(),
+                      jr.result.estimated_time,
+                      baseline / jr.result.estimated_time,
+                      problems.empty() ? "" : "  [VERIFY FAILED]");
+        report_lines[i] = line;
         if (cli.stats) {
-            std::printf("    expansion %.2fx; renamed %zu, copies "
-                        "%zu, speculated %zu, elided %zu; compile "
-                        "%.2f ms\n",
-                        jr.result.code_expansion,
-                        jr.result.total_sched_stats.renamed_defs,
-                        jr.result.total_sched_stats.exit_copies,
-                        jr.result.total_sched_stats.speculated_ops,
-                        jr.result.total_sched_stats.elided_ops,
-                        jr.compile_ms);
+            std::snprintf(
+                line, sizeof line,
+                "    expansion %.2fx; renamed %zu, copies "
+                "%zu, speculated %zu, elided %zu; compile "
+                "%.2f ms\n",
+                jr.result.code_expansion,
+                jr.result.total_sched_stats.renamed_defs,
+                jr.result.total_sched_stats.exit_copies,
+                jr.result.total_sched_stats.speculated_ops,
+                jr.result.total_sched_stats.elided_ops,
+                jr.compile_ms);
+            report_lines[i] += line;
         }
+        if (want_remarks)
+            remark_chunks[i] = jr.remarks.toJsonLines();
+    };
+    sched::runPipelineParallel(batch, run);
+
+    int failures = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        std::fputs(verify_lines[i].c_str(), stderr);
+        failures += verify_failed[i] ? 1 : 0;
+        std::fputs(report_lines[i].c_str(), stdout);
     }
 
-    if (!cli.remarks_path.empty()) {
+    if (want_remarks) {
         // Per-job streams concatenated in input order: bit-identical
         // for any -j.
         std::string jsonl;
-        for (const auto &jr : results)
-            jsonl += jr.remarks.toJsonLines();
+        for (const std::string &chunk : remark_chunks)
+            jsonl += chunk;
         if (!writeRemarks(cli.remarks_path, jsonl))
             ++failures;
         else if (cli.remarks_path != "-")
@@ -362,6 +398,9 @@ main(int argc, char **argv)
                 return 2;
             }
             cli.jobs = static_cast<size_t>(jobs);
+        } else if (arg == "--mem-budget-mb") {
+            cli.mem_budget_bytes =
+                static_cast<uint64_t>(std::atoll(next())) << 20;
         } else if (arg == "--all-functions") {
             cli.all_functions = true;
         } else if (arg == "--sweep") {

@@ -20,6 +20,9 @@
  *   --host ADDR            TCP bind address (default 127.0.0.1)
  *   --threads N            compile workers (default: all cores)
  *   --queue-limit N        max in-flight compile requests (default 64)
+ *   --mem-budget-mb N      park compiles whose projected peak heap
+ *                          would push the in-flight total past N MiB
+ *                          (default 0 = no memory gate)
  *   --max-connections N    max concurrent connections (default 64)
  *   --cache-mb N           compile cache budget in MiB (default 64;
  *                          0 disables caching)
@@ -107,6 +110,9 @@ main(int argc, char **argv)
         } else if (arg == "--queue-limit") {
             options.queue_limit =
                 static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--mem-budget-mb") {
+            options.mem_budget_bytes =
+                static_cast<uint64_t>(std::atoll(next())) << 20;
         } else if (arg == "--max-connections") {
             options.max_connections =
                 static_cast<size_t>(std::atoll(next()));
