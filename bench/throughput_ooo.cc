@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Simulation-throughput bench and in-order vs out-of-order study for
+ * the dual execution backends (ROADMAP item 5, DESIGN.md §15).
+ *
+ * Default mode measures simulator throughput: every SPECint95 proxy
+ * is compiled once (tree/8U, global weight), then each backend
+ * configuration — the in-order VLIW reference plus every named OoO
+ * machine — replays the whole scheduled suite over a family of input
+ * images until --min-time elapses. A *cell* is one complete simulated
+ * execution of one scheduled proxy on one input; the bench reports
+ * cells/s and simulated Mcycles/s per configuration. `--json FILE`
+ * emits one treegion-ooo-bench/v1 entry (schema pinned by
+ * tests/support_test.cc, OooBenchSchema.*); entries are appended by
+ * hand to BENCH_ooo.json and CI's perf-smoke job gates cells_per_s
+ * against the last one via scripts/perf_compare.py.
+ *
+ * `--grid` instead prints the EXPERIMENTS.md study: for every
+ * (scheme x heuristic) cell, total simulated cycles over the proxy
+ * suite on the in-order machine at 4U and 8U versus both OoO configs
+ * executing the 8U schedule (the widest static form, so the dynamic
+ * front end sees the most exposed parallelism per row), with retired
+ * IPC and the ooo-wide/in-order-8U cycle ratio. Output is a markdown
+ * table ready to paste into EXPERIMENTS.md.
+ *
+ * Usage:
+ *   throughput_ooo [--min-time S] [--label STR] [--json FILE] [--grid]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ooo/ooo_sim.h"
+#include "support/string_utils.h"
+#include "vliw/vliw_sim.h"
+
+namespace {
+
+using namespace treegion;
+
+/** Input images simulated per scheduled proxy (cells per sweep). */
+constexpr int kInputsPerProxy = 3;
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+/** One compiled proxy ready to simulate. */
+struct Compiled
+{
+    std::string name;
+    ir::Function fn;
+    sched::FunctionSchedule schedule;
+    size_t mem_words = 0;
+};
+
+std::vector<Compiled>
+compileSuite(std::vector<bench::Workload> &workloads,
+             const sched::PipelineOptions &options)
+{
+    std::vector<Compiled> suite;
+    for (bench::Workload &w : workloads) {
+        auto run = sched::runPipelineOnClone(w.fn(), options);
+        Compiled c{w.name, std::move(run.fn),
+                   std::move(run.result.schedule),
+                   w.mod->memWords()};
+        suite.push_back(std::move(c));
+    }
+    return suite;
+}
+
+/** Measured throughput of one backend configuration. */
+struct ConfigResult
+{
+    std::string name;
+    size_t cells = 0;
+    double wall_s = 0.0;
+    double cells_per_s = 0.0;
+    double mcycles_per_s = 0.0;  ///< simulated megacycles per second
+};
+
+/**
+ * Replay the scheduled suite under one backend until @p min_time_s
+ * elapses. @p ooo selects the OoO config; null means the in-order
+ * VLIW reference.
+ */
+ConfigResult
+runBackend(const std::string &name, std::vector<Compiled> &suite,
+           const ooo::OooConfig *ooo, double min_time_s)
+{
+    ConfigResult r;
+    r.name = name;
+    uint64_t sim_cycles = 0;
+    const double start = nowSeconds();
+    do {
+        for (Compiled &c : suite) {
+            for (int i = 0; i < kInputsPerProxy; ++i) {
+                auto mem = workloads::makeInputMemory(
+                    c.mem_words, bench::benchSeed() + i, 100);
+                uint64_t cycles = 0;
+                bool completed = false;
+                if (ooo) {
+                    const auto run = ooo::runOutOfOrder(
+                        c.fn, c.schedule, std::move(mem), *ooo);
+                    cycles = run.arch.cycles;
+                    completed = run.arch.completed;
+                } else {
+                    const auto run = vliw::runScheduled(
+                        c.fn, c.schedule, std::move(mem));
+                    cycles = run.cycles;
+                    completed = run.completed;
+                }
+                if (!completed) {
+                    std::fprintf(stderr,
+                                 "FATAL: %s hit its cycle limit on "
+                                 "%s\n",
+                                 name.c_str(), c.name.c_str());
+                    std::exit(1);
+                }
+                sim_cycles += cycles;
+                ++r.cells;
+            }
+        }
+        r.wall_s = nowSeconds() - start;
+    } while (r.wall_s < min_time_s);
+    r.cells_per_s = static_cast<double>(r.cells) / r.wall_s;
+    r.mcycles_per_s =
+        static_cast<double>(sim_cycles) / r.wall_s / 1e6;
+    return r;
+}
+
+/** Render one treegion-ooo-bench/v1 entry. */
+std::string
+entryJson(const std::string &label,
+          const std::vector<ConfigResult> &results)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"treegion-ooo-bench/v1\",\n";
+    out += support::strprintf("  \"label\": \"%s\",\n",
+                              label.c_str());
+    out += support::strprintf("  \"bench_seed\": %llu,\n",
+                              static_cast<unsigned long long>(
+                                  bench::benchSeed()));
+    out += "  \"configs\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ConfigResult &r = results[i];
+        out += support::strprintf(
+            "    {\"name\": \"%s\", \"cells\": %zu, "
+            "\"wall_s\": %.6g, \"cells_per_s\": %.6g, "
+            "\"mcycles_per_s\": %.6g}%s\n",
+            r.name.c_str(), r.cells, r.wall_s, r.cells_per_s,
+            r.mcycles_per_s, i + 1 < results.size() ? "," : "");
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+/** Cycle/IPC totals of one backend over the suite (--grid). */
+struct GridCell
+{
+    uint64_t cycles = 0;
+    uint64_t retired = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(retired) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+GridCell
+simulateSuite(std::vector<Compiled> &suite, const ooo::OooConfig *ooo)
+{
+    GridCell cell;
+    for (Compiled &c : suite) {
+        auto mem = workloads::makeInputMemory(c.mem_words,
+                                              bench::benchSeed(), 100);
+        if (ooo) {
+            const auto run = ooo::runOutOfOrder(c.fn, c.schedule,
+                                                std::move(mem), *ooo);
+            cell.cycles += run.arch.cycles;
+            cell.retired += run.stats.retired;
+        } else {
+            const auto run =
+                vliw::runScheduled(c.fn, c.schedule, std::move(mem));
+            cell.cycles += run.cycles;
+            cell.retired += run.ops_executed;
+        }
+    }
+    return cell;
+}
+
+/**
+ * The EXPERIMENTS.md study: every (scheme x heuristic), in-order
+ * 4U/8U vs both OoO configs on the 8U schedule. Markdown to stdout.
+ */
+int
+runGrid(std::vector<bench::Workload> &workloads)
+{
+    const sched::RegionScheme schemes[] = {
+        sched::RegionScheme::BasicBlock,
+        sched::RegionScheme::Slr,
+        sched::RegionScheme::Superblock,
+        sched::RegionScheme::Treegion,
+        sched::RegionScheme::TreegionTailDup,
+        sched::RegionScheme::Hyperblock,
+    };
+    std::printf("| scheme | heuristic | 4U cyc | 8U cyc | "
+                "ooo-small cyc (IPC) | ooo-wide cyc (IPC) | "
+                "wide/8U |\n");
+    std::printf("|---|---|---|---|---|---|---|\n");
+    for (const sched::RegionScheme scheme : schemes) {
+        for (const sched::Heuristic heuristic :
+             sched::kAllHeuristics) {
+            auto suite4 = compileSuite(
+                workloads, bench::makeOptions(scheme, 4, heuristic));
+            auto suite8 = compileSuite(
+                workloads, bench::makeOptions(scheme, 8, heuristic));
+            const GridCell in4 = simulateSuite(suite4, nullptr);
+            const GridCell in8 = simulateSuite(suite8, nullptr);
+            const ooo::OooConfig small = ooo::oooSmall();
+            const ooo::OooConfig wide = ooo::oooWide();
+            const GridCell os = simulateSuite(suite8, &small);
+            const GridCell ow = simulateSuite(suite8, &wide);
+            std::printf(
+                "| %s | %s | %llu | %llu | %llu (%.2f) | %llu "
+                "(%.2f) | %.2f |\n",
+                sched::regionSchemeName(scheme).c_str(),
+                sched::heuristicName(heuristic).c_str(),
+                static_cast<unsigned long long>(in4.cycles),
+                static_cast<unsigned long long>(in8.cycles),
+                static_cast<unsigned long long>(os.cycles), os.ipc(),
+                static_cast<unsigned long long>(ow.cycles), ow.ipc(),
+                in8.cycles ? static_cast<double>(ow.cycles) /
+                                 static_cast<double>(in8.cycles)
+                           : 0.0);
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double min_time_s = 1.0;
+    std::string label = "dev";
+    std::string json_path;
+    bool grid = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--min-time") {
+            min_time_s = std::atof(value());
+        } else if (arg == "--label") {
+            label = value();
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--grid") {
+            grid = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--min-time S] [--label STR] "
+                         "[--json FILE] [--grid]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    auto workloads = bench::loadWorkloads();
+    if (grid)
+        return runGrid(workloads);
+
+    auto suite = compileSuite(
+        workloads,
+        bench::makeOptions(sched::RegionScheme::Treegion, 8));
+    std::printf("ooo sim throughput: %zu proxies x %d inputs per "
+                "sweep, min-time %.1fs per config\n",
+                suite.size(), kInputsPerProxy, min_time_s);
+    std::printf("%-12s %10s %10s %12s %14s\n", "config", "cells",
+                "wall", "cells/s", "Mcycles/s");
+
+    std::vector<ConfigResult> results;
+    results.push_back(
+        runBackend("vliw", suite, nullptr, min_time_s));
+    for (const ooo::OooConfig &config : ooo::oooConfigs()) {
+        results.push_back(
+            runBackend(config.name, suite, &config, min_time_s));
+    }
+    for (const ConfigResult &r : results) {
+        std::printf("%-12s %10zu %9.3fs %12.1f %14.2f\n",
+                    r.name.c_str(), r.cells, r.wall_s, r.cells_per_s,
+                    r.mcycles_per_s);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << entryJson(label, results);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "ooo/ooo_sim.h"
 #include "sched/schedule_verifier.h"
 #include "support/string_utils.h"
 #include "vliw/equivalence.h"
@@ -149,6 +150,71 @@ checkCostModel(const sched::PipelineResult &res,
     return fail;
 }
 
+/**
+ * Fifth oracle: the in-order VLIW simulator and the out-of-order
+ * backend must produce identical architectural outcomes (return
+ * value, memory image, region-root trace, and the architectural
+ * counters) for every named OoO configuration.
+ */
+OracleFailure
+checkBackendAgreement(ir::Function &transformed,
+                      const sched::FunctionSchedule &schedule,
+                      const std::vector<int64_t> &memory, int input)
+{
+    const vliw::VliwResult v =
+        vliw::runScheduled(transformed, schedule, memory);
+    if (!v.completed)
+        return {};  // cycle limit hit; nothing to compare
+
+    for (const ooo::OooConfig &config : ooo::oooConfigs()) {
+        const ooo::OooResult o =
+            ooo::runOutOfOrder(transformed, schedule, memory, config);
+        auto diverged = [&](std::string detail) -> OracleFailure {
+            return {"ooo-equivalence",
+                    strprintf("input %d, %s: %s", input,
+                              config.name.c_str(), detail.c_str())};
+        };
+        if (!o.arch.completed)
+            return diverged("ooo hit its cycle limit but the vliw "
+                            "backend completed");
+        if (o.arch.ret_value != v.ret_value) {
+            return diverged(strprintf(
+                "return value %lld != vliw %lld",
+                static_cast<long long>(o.arch.ret_value),
+                static_cast<long long>(v.ret_value)));
+        }
+        for (size_t i = 0; i < v.memory.size(); ++i) {
+            if (o.arch.memory[i] != v.memory[i]) {
+                return diverged(strprintf(
+                    "memory[%zu]: %lld != vliw %lld", i,
+                    static_cast<long long>(o.arch.memory[i]),
+                    static_cast<long long>(v.memory[i])));
+            }
+        }
+        if (o.arch.trace != v.trace) {
+            return diverged(strprintf(
+                "region trace: %zu entries != vliw %zu",
+                o.arch.trace.size(), v.trace.size()));
+        }
+        if (o.arch.regions_executed != v.regions_executed ||
+            o.arch.copies_applied != v.copies_applied ||
+            o.arch.ops_executed != v.ops_executed) {
+            return diverged(strprintf(
+                "counters (regions %llu copies %llu ops %llu) != "
+                "vliw (%llu %llu %llu)",
+                static_cast<unsigned long long>(
+                    o.arch.regions_executed),
+                static_cast<unsigned long long>(
+                    o.arch.copies_applied),
+                static_cast<unsigned long long>(o.arch.ops_executed),
+                static_cast<unsigned long long>(v.regions_executed),
+                static_cast<unsigned long long>(v.copies_applied),
+                static_cast<unsigned long long>(v.ops_executed)));
+        }
+    }
+    return {};
+}
+
 } // namespace
 
 std::string
@@ -290,6 +356,11 @@ checkCell(const ir::Function &fn, size_t mem_words,
                     strprintf("input %d: %s", i,
                               firstLine(report.detail).c_str())};
         }
+        // Oracle: dual-backend agreement (in-order VLIW vs the
+        // out-of-order model, every named OoO configuration).
+        if (OracleFailure fail = checkBackendAgreement(
+                transformed, res.schedule, memory, i))
+            return fail;
     }
     return {};
 }

@@ -4,7 +4,7 @@
  *
  * A fuzz *cell* is one (program, configuration) pair: the program is
  * compiled through region formation, lowering and scheduling under
- * the configuration, and four oracles cross-check the result against
+ * the configuration, and five oracles cross-check the result against
  * the sequential program:
  *
  *  1. equivalence — the VLIW simulator must compute the same return
@@ -18,9 +18,14 @@
  *  4. cost-model — performance-model sanity: per region, exit weights
  *     conserve the root's profile weight, and the time estimate lies
  *     in [W, W * length] for exit weight sum W; code expansion never
- *     drops below 1.
+ *     drops below 1;
+ *  5. ooo-equivalence — the out-of-order backend (every named
+ *     configuration, ooo-small and ooo-wide) must produce the same
+ *     architectural outcome as the in-order VLIW simulator on the
+ *     same schedule: return value, memory image, region-root trace
+ *     and the architectural counters (regions, copies, retired ops).
  *
- * A fifth, scheme-independent oracle checks that printing a module
+ * A further scheme-independent oracle checks that printing a module
  * and reparsing it is a fixed point (checkRoundTrip).
  *
  * Everything here is deterministic: a cell's outcome is a pure
@@ -79,14 +84,15 @@ struct OracleOptions
 struct OracleFailure
 {
     std::string oracle;  ///< "equivalence", "legality", "ir-verify",
-                         ///< "cost-model", "round-trip", or ""
+                         ///< "cost-model", "ooo-equivalence",
+                         ///< "round-trip", or ""
     std::string detail;  ///< first problem, human-readable
 
     explicit operator bool() const { return !oracle.empty(); }
 };
 
 /**
- * Compile @p fn under @p config and run all four oracles.
+ * Compile @p fn under @p config and run all five oracles.
  *
  * @p fn is never mutated: the cell profiles and compiles private
  * clones. @p mem_words sizes the input images (module mem= field).

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Out-of-order execution backend: a Tomasulo/ROB machine model that
+ * executes the same FunctionSchedule the in-order VLIW simulator
+ * does.
+ *
+ * The front-end fetches the scheduled MultiOp rows of the current
+ * region in (cycle, slot) order — the region is the fetch unit, so
+ * schedules stay the common input to both backends — renames every
+ * destination onto a physical register file, and dispatches into an
+ * issue queue. Ready ops issue oldest-first up to the issue width
+ * (Tomasulo tag broadcast wakes consumers when results complete);
+ * a reorder buffer retires in order up to the retire width. Region
+ * exits are resolved at retirement: when a firing branch retires,
+ * the remaining ops of its row drain, everything younger is
+ * squashed, the exit's reconciliation copies apply, and fetch
+ * redirects to the target region.
+ *
+ * Memory discipline is conservative: loads and stores execute in
+ * program order among memory ops (total memory order — exactly the
+ * (cycle, slot) order the schedule verifier pins for conflicting
+ * pairs), and a store only executes once it can no longer be
+ * squashed (every branch in an earlier row of its region instance
+ * has resolved as not-taken).
+ *
+ * Architectural outcome (return value, memory image, region trace,
+ * retired-op count) is VliwResult-compatible so the two backends can
+ * be differentially compared; op semantics come from the shared
+ * vliw/op_semantics.h header, so both engines execute identical
+ * operation behaviour by construction and only the machine model
+ * differs.
+ */
+
+#ifndef TREEGION_OOO_OOO_SIM_H
+#define TREEGION_OOO_OOO_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "vliw/vliw_sim.h"
+
+namespace treegion::ooo {
+
+/** One named out-of-order machine configuration. */
+struct OooConfig
+{
+    std::string name = "ooo-small";
+    int fetch_width = 2;   ///< ops renamed/dispatched per cycle
+    int issue_width = 2;   ///< ready ops selected per cycle
+    int retire_width = 2;  ///< ROB entries retired per cycle
+    int window_size = 16;  ///< issue-queue (scheduling window) entries
+    int rob_size = 32;     ///< reorder-buffer entries
+
+    /**
+     * Physical registers beyond the architectural file. The
+     * architectural file is virtual-register sized (schedulers rename
+     * onto fresh virtual registers), so the physical file is sized
+     * arch + headroom and rename stalls when the headroom free list
+     * runs dry.
+     */
+    int phys_gpr_headroom = 24;
+    int phys_pred_headroom = 12;
+
+    vliw::SimLimits limits;  ///< shared with the VLIW backend
+};
+
+/** The 2-wide small-window baseline configuration. */
+OooConfig oooSmall();
+
+/** The 8-wide large-window configuration. */
+OooConfig oooWide();
+
+/** All named configurations (for benches and sweeps). */
+const std::vector<OooConfig> &oooConfigs();
+
+/**
+ * Look up a configuration by name ("ooo-small", "ooo-wide").
+ * @return false when @p name is unknown.
+ */
+bool parseOooConfig(const std::string &name, OooConfig &out);
+
+/** Timing statistics specific to the out-of-order model. */
+struct OooStats
+{
+    uint64_t retired = 0;        ///< ops retired (== arch ops)
+    uint64_t squashed = 0;       ///< ops fetched past a firing exit
+    uint64_t rename_stalls = 0;  ///< cycles rename blocked on
+                                 ///< ROB/window/physical registers
+    uint64_t window_cycle_sum = 0;  ///< sum of ROB occupancy per cycle
+
+    /** Retired ops per cycle. */
+    double ipc(uint64_t cycles) const
+    {
+        return cycles ? static_cast<double>(retired) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Mean ROB occupancy over the run. */
+    double avgWindowOccupancy(uint64_t cycles) const
+    {
+        return cycles ? static_cast<double>(window_cycle_sum) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Outcome of one out-of-order execution. */
+struct OooResult
+{
+    /**
+     * Architectural outcome, directly comparable against the in-order
+     * backend's: completed, ret_value, memory, trace (region roots),
+     * regions_executed, copies_applied, ops_executed (retired ops)
+     * are architectural; cycles is this model's own cycle count.
+     */
+    vliw::VliwResult arch;
+    OooStats stats;
+};
+
+/**
+ * Execute @p sched out of order on @p memory.
+ *
+ * @param fn the function the schedule was produced from (register
+ *        file sizes)
+ * @param sched the scheduled code
+ * @param memory initial data memory
+ * @param config machine configuration (widths, window, limits)
+ */
+OooResult runOutOfOrder(ir::Function &fn,
+                        const sched::FunctionSchedule &sched,
+                        std::vector<int64_t> memory,
+                        const OooConfig &config = oooSmall());
+
+} // namespace treegion::ooo
+
+#endif // TREEGION_OOO_OOO_SIM_H

@@ -1,6 +1,7 @@
 #include "vliw/interpreter.h"
 
 #include "support/logging.h"
+#include "vliw/op_semantics.h"
 
 namespace treegion::vliw {
 
@@ -8,23 +9,19 @@ using ir::BlockId;
 using ir::Op;
 using ir::Opcode;
 
-namespace {
-
-/** Evaluate a source operand. */
-int64_t
-value(const MachineState &state, const ir::Operand &operand)
-{
-    return operand.isImm() ? operand.imm : state.readReg(operand.reg);
-}
-
-} // namespace
-
 ExecResult
 runSequential(ir::Function &fn, std::vector<int64_t> memory,
               const InterpOptions &options, ExecutionCounts *counts)
 {
     MachineState state(fn.numGprs(), fn.numPreds(), std::move(memory));
     ExecResult result;
+
+    auto readReg = [&](ir::Reg r) { return state.readReg(r); };
+    // Sequential execution applies writes immediately; the MultiOp
+    // visibility delay only matters to the schedule simulators.
+    auto writeNow = [&](ir::Reg dst, int64_t value, int) {
+        state.writeReg(dst, value);
+    };
 
     BlockId cur = fn.entry();
     for (;;) {
@@ -41,104 +38,35 @@ runSequential(ir::Function &fn, std::vector<int64_t> memory,
                 result.memory = state.memory();
                 return result;  // completed stays false
             }
-            switch (op.opcode) {
-              case Opcode::LD:
-                state.writeReg(op.dsts[0],
-                               state.readMem(value(state, op.srcs[0]) +
-                                             op.srcs[1].imm));
-                break;
-              case Opcode::ST:
-                state.writeMem(value(state, op.srcs[0]) + op.srcs[1].imm,
-                               value(state, op.srcs[2]));
-                break;
-              case Opcode::CMPP: {
-                const bool cmp = ir::evalCmp(op.cmp,
-                                             value(state, op.srcs[0]),
-                                             value(state, op.srcs[1]));
-                state.writeReg(op.dsts[0], cmp);
-                if (op.dsts.size() > 1)
-                    state.writeReg(op.dsts[1], !cmp);
-                break;
-              }
-              case Opcode::PSET:
-                state.writeReg(op.dsts[0], 1);
-                break;
-              case Opcode::PCLR:
-                state.writeReg(op.dsts[0], 0);
-                break;
-              case Opcode::CMPPA:
-                if (!ir::evalCmp(op.cmp, value(state, op.srcs[0]),
-                                 value(state, op.srcs[1]))) {
-                    state.writeReg(op.dsts[0], 0);
-                }
-                break;
-              case Opcode::CMPPO:
-                if (ir::evalCmp(op.cmp, value(state, op.srcs[0]),
-                                value(state, op.srcs[1]))) {
-                    state.writeReg(op.dsts[0], 1);
-                }
-                break;
-              case Opcode::PBR:
-                break;  // no simulated semantics
-              default: {
-                const int64_t a = value(state, op.srcs[0]);
-                const int64_t c = op.srcs.size() > 1
-                                      ? value(state, op.srcs[1])
-                                      : 0;
-                state.writeReg(op.dsts[0],
-                               ir::evalAlu(op.opcode, a, c));
-                break;
-              }
-            }
+            sem::execDataOp(op, readReg, state, writeNow);
         }
 
         // Terminator.
         const Op &term = b.terminator();
         ++result.ops_executed;
-        size_t taken_slot = 0;
-        switch (term.opcode) {
-          case Opcode::RET:
+        if (!term.isBranch())
+            TG_PANIC("bad terminator in bb%u", cur);
+        const sem::BranchOutcome out = sem::evalBranch(term, readReg);
+        if (out.kind == sem::BranchOutcome::Kind::kMalformedMwbr) {
+            // A selector outside the case table means the program is
+            // dynamically malformed; the generator always narrows
+            // selectors into range, but fuzz reduction can delete or
+            // shrink part of the narrowing chain. Halt without
+            // completing so callers reject the execution instead of
+            // the process aborting.
+            result.memory = state.memory();
+            return result;  // completed stays false
+        }
+        if (out.is_ret) {
             result.completed = true;
-            result.ret_value = value(state, term.srcs[0]);
+            result.ret_value = out.ret_value;
             result.memory = state.memory();
             result.wrapped_stores = state.wrappedStores();
             return result;
-          case Opcode::BRU:
-            taken_slot = 0;
-            break;
-          case Opcode::BRCT:
-          case Opcode::BRCF: {
-            const bool p = state.readReg(term.srcs[0].reg) != 0;
-            const bool taken = term.opcode == Opcode::BRCT ? p : !p;
-            taken_slot = taken ? 0 : 1;
-            break;
-          }
-          case Opcode::MWBR: {
-            const int64_t sel = value(state, term.srcs[0]);
-            bool found = false;
-            for (size_t i = 0; i < term.caseValues.size(); ++i) {
-                if (term.caseValues[i] == sel) {
-                    taken_slot = i;
-                    found = true;
-                    break;
-                }
-            }
-            if (!found) {
-                // A selector outside the case table means the
-                // program is dynamically malformed; the generator
-                // always narrows selectors into range, but fuzz
-                // reduction can delete or shrink part of the
-                // narrowing chain. Halt without completing so
-                // callers reject the execution instead of the
-                // process aborting.
-                result.memory = state.memory();
-                return result;  // completed stays false
-            }
-            break;
-          }
-          default:
-            TG_PANIC("bad terminator in bb%u", cur);
         }
+        // A not-taken BRCT/BRCF falls through to target slot 1.
+        const size_t taken_slot =
+            out.kind == sem::BranchOutcome::Kind::kFire ? out.slot : 1;
         if (counts)
             counts->edge[ExecutionCounts::edgeKey(cur, taken_slot)] +=
                 1.0;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "support/logging.h"
+#include "vliw/op_semantics.h"
 
 namespace treegion::vliw {
 
@@ -23,18 +24,6 @@ struct PendingWrite
     ir::Reg reg;
     int64_t value;
 };
-
-int64_t
-value(const MachineState &state, const ir::Operand &operand)
-{
-    return operand.isImm() ? operand.imm : state.readReg(operand.reg);
-}
-
-bool
-guardTrue(const MachineState &state, const Op &op)
-{
-    return !op.guard || state.readReg(*op.guard) != 0;
-}
 
 /** Rows of a region schedule, precomputed. */
 struct RegionRows
@@ -60,6 +49,29 @@ buildRows(const RegionSchedule &rs)
     for (const ScheduledExit &exit : rs.exits)
         out.exits[exit.op_index].push_back(&exit);
     return out;
+}
+
+/**
+ * Map a fired branch to its exit record, or nullptr for an MWBR case
+ * edge that falls through internally (target == kNoBlock).
+ */
+const ScheduledExit *
+resolveExit(const RegionRows &rr, size_t op_index, const Op &op,
+            size_t slot)
+{
+    auto eit = rr.exits.find(op_index);
+    if (op.opcode == Opcode::MWBR) {
+        if (op.targets[slot] == ir::kNoBlock)
+            return nullptr;  // internal fall-through case edge
+        TG_ASSERT(eit != rr.exits.end());
+        for (const ScheduledExit *cand : eit->second) {
+            if (cand->target_slot == slot)
+                return cand;
+        }
+        TG_PANIC("MWBR slot %zu has no exit record", slot);
+    }
+    TG_ASSERT(eit != rr.exits.end());
+    return eit->second.front();
 }
 
 } // namespace
@@ -89,6 +101,8 @@ runScheduled(ir::Function &fn, const sched::FunctionSchedule &sched,
 
     BlockId cur = sched.entry;
     std::vector<PendingWrite> pending;
+
+    auto readReg = [&](ir::Reg r) { return state.readReg(r); };
 
     auto commit = [&](uint64_t upto) {
         size_t kept = 0;
@@ -123,139 +137,33 @@ runScheduled(ir::Function &fn, const sched::FunctionSchedule &sched,
             for (const ScheduledOp *sop : rr.rows[cyc]) {
                 const Op &op = sop->op;
                 ++result.ops_executed;
-                switch (op.opcode) {
-                  case Opcode::LD:
-                    // Address read from committed state; the loaded
-                    // value lands after the load latency.
-                    pending.push_back(
-                        {cyc + static_cast<uint64_t>(op.latency()),
-                         op.dsts[0],
-                         state.readMem(value(state, op.srcs[0]) +
-                                       op.srcs[1].imm)});
-                    break;
-                  case Opcode::ST:
-                    if (guardTrue(state, op)) {
-                        state.writeMem(value(state, op.srcs[0]) +
-                                           op.srcs[1].imm,
-                                       value(state, op.srcs[2]));
-                    }
-                    break;
-                  case Opcode::CMPP: {
-                    const bool guard = guardTrue(state, op);
-                    const bool cmp =
-                        ir::evalCmp(op.cmp, value(state, op.srcs[0]),
-                                    value(state, op.srcs[1]));
-                    pending.push_back(
-                        {cyc + 1, op.dsts[0], guard && cmp});
-                    if (op.dsts.size() > 1)
-                        pending.push_back(
-                            {cyc + 1, op.dsts[1], guard && !cmp});
-                    break;
-                  }
-                  case Opcode::PSET:
-                    pending.push_back({cyc + 1, op.dsts[0], 1});
-                    break;
-                  case Opcode::PCLR:
-                    pending.push_back({cyc + 1, op.dsts[0], 0});
-                    break;
-                  case Opcode::CMPPA:
-                    // And-type compare: clears the predicate when the
-                    // condition fails, leaves it untouched otherwise,
-                    // so several CMPPAs may share a cycle.
-                    if (!ir::evalCmp(op.cmp, value(state, op.srcs[0]),
-                                     value(state, op.srcs[1]))) {
-                        pending.push_back({cyc + 1, op.dsts[0], 0});
-                    }
-                    break;
-                  case Opcode::CMPPO:
-                    // Or-type compare: the dual of CMPPA.
-                    if (ir::evalCmp(op.cmp, value(state, op.srcs[0]),
-                                    value(state, op.srcs[1]))) {
-                        pending.push_back({cyc + 1, op.dsts[0], 1});
-                    }
-                    break;
-                  case Opcode::PBR:
-                    break;
-                  case Opcode::BRU:
-                  case Opcode::BRCT:
-                  case Opcode::BRCF:
-                  case Opcode::MWBR:
-                  case Opcode::RET: {
-                    const ScheduledExit *exit = nullptr;
-                    const size_t idx = op_indices.at(cur).at(sop);
-                    auto eit = rr.exits.find(idx);
-                    if (op.opcode == Opcode::BRU) {
-                        TG_ASSERT(eit != rr.exits.end());
-                        exit = eit->second.front();
-                    } else if (op.opcode == Opcode::BRCT ||
-                               op.opcode == Opcode::BRCF) {
-                        const bool p =
-                            state.readReg(op.srcs[0].reg) != 0;
-                        const bool take =
-                            op.opcode == Opcode::BRCT ? p : !p;
-                        if (take) {
-                            TG_ASSERT(eit != rr.exits.end());
-                            exit = eit->second.front();
-                        }
-                    } else if (op.opcode == Opcode::MWBR) {
-                        if (guardTrue(state, op)) {
-                            const int64_t sel =
-                                value(state, op.srcs[0]);
-                            size_t slot = SIZE_MAX;
-                            for (size_t i = 0;
-                                 i < op.caseValues.size(); ++i) {
-                                if (op.caseValues[i] == sel) {
-                                    slot = i;
-                                    break;
-                                }
-                            }
-                            if (slot == SIZE_MAX) {
-                                TG_PANIC("MWBR selector %lld matches "
-                                         "no case",
-                                         static_cast<long long>(sel));
-                            }
-                            if (op.targets[slot] != ir::kNoBlock) {
-                                TG_ASSERT(eit != rr.exits.end());
-                                for (const ScheduledExit *cand :
-                                     eit->second) {
-                                    if (cand->target_slot == slot) {
-                                        exit = cand;
-                                        break;
-                                    }
-                                }
-                                TG_ASSERT(exit != nullptr);
-                            }
-                        }
-                    } else {  // RET
-                        if (guardTrue(state, op)) {
-                            TG_ASSERT(eit != rr.exits.end());
-                            exit = eit->second.front();
-                            ret_value = value(state, op.srcs[0]);
-                        }
-                    }
-                    if (exit) {
-                        TG_ASSERT(!fired &&
-                                  "two exits fired in one cycle");
-                        fired = exit;
-                    }
-                    break;
-                  }
-                  default: {
-                    // Plain computation. Usually unguarded
-                    // (speculative); hyperblock merge copies are
-                    // guarded MOVs whose write is conditional.
-                    if (!guardTrue(state, op))
-                        break;
-                    const int64_t a = value(state, op.srcs[0]);
-                    const int64_t b = op.srcs.size() > 1
-                                          ? value(state, op.srcs[1])
-                                          : 0;
-                    pending.push_back(
-                        {cyc + static_cast<uint64_t>(op.latency()),
-                         op.dsts[0], ir::evalAlu(op.opcode, a, b)});
-                    break;
-                  }
+                if (!op.isBranch()) {
+                    sem::execDataOp(
+                        op, readReg, state,
+                        [&](ir::Reg dst, int64_t value, int delay) {
+                            pending.push_back(
+                                {cyc + static_cast<uint64_t>(delay),
+                                 dst, value});
+                        });
+                    continue;
                 }
+                const sem::BranchOutcome out =
+                    sem::evalBranch(op, readReg);
+                if (out.kind ==
+                    sem::BranchOutcome::Kind::kMalformedMwbr) {
+                    TG_PANIC("MWBR selector matches no case");
+                }
+                if (out.kind != sem::BranchOutcome::Kind::kFire)
+                    continue;
+                const size_t idx = op_indices.at(cur).at(sop);
+                const ScheduledExit *exit =
+                    resolveExit(rr, idx, op, out.slot);
+                if (!exit)
+                    continue;  // internal MWBR fall-through
+                if (out.is_ret)
+                    ret_value = out.ret_value;
+                TG_ASSERT(!fired && "two exits fired in one cycle");
+                fired = exit;
             }
 
             if (fired) {
@@ -263,14 +171,11 @@ runScheduled(ir::Function &fn, const sched::FunctionSchedule &sched,
                 // architectural at the exit boundary.
                 commit(cyc + 1);
                 // Reconciliation copies: parallel read, then write.
-                std::vector<std::pair<ir::Reg, int64_t>> writes;
-                writes.reserve(fired->copies.size());
-                for (const sched::ExitCopy &copy : fired->copies)
-                    writes.emplace_back(copy.dst,
-                                        state.readReg(copy.src));
-                for (const auto &[dst, val] : writes)
-                    state.writeReg(dst, val);
-                result.copies_applied += fired->copies.size();
+                result.copies_applied += sem::applyExitCopies(
+                    fired->copies, readReg,
+                    [&](ir::Reg dst, int64_t value) {
+                        state.writeReg(dst, value);
+                    });
 
                 if (fired->is_ret) {
                     result.completed = true;

@@ -28,6 +28,7 @@
 
 #include "sched/schedule.h"
 #include "vliw/interpreter.h"
+#include "vliw/op_semantics.h"
 
 namespace treegion::vliw {
 
@@ -44,11 +45,12 @@ struct VliwResult
     uint64_t ops_executed = 0;
 };
 
-/** Simulation limits. */
-struct VliwOptions
-{
-    uint64_t max_cycles = 20'000'000;
-};
+/**
+ * Simulation limits. Shared with the out-of-order backend (one
+ * SimLimits drives both) so fuzz campaigns can bound either engine
+ * with the same knob.
+ */
+using VliwOptions = SimLimits;
 
 /**
  * Execute @p sched on @p memory.

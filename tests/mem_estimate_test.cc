@@ -2,9 +2,9 @@
  * @file
  * Error-band pin for the compile-job peak-memory estimator
  * (sched/mem_estimate.h) on the golden corpus: for every golden
- * input under the schemes the goldens cover (tree, tree-td), the
- * projection must land within 2x of the measured peak in both
- * directions. The admission gate treats projections as hard
+ * input under tree, tree-td, and hyper (the latter fit its own
+ * per-op coefficient from the --calibrate sweep), the projection
+ * must land within 2x of the measured peak in both directions. The admission gate treats projections as hard
  * reservations, so under-projection risks blowing the budget and
  * gross over-projection serializes jobs that would have fit.
  *
@@ -81,7 +81,10 @@ corpusConfigs()
     PipelineOptions tree_td;
     tree_td.scheme = RegionScheme::TreegionTailDup;
     tree_td.model = MachineModel::wide4U();
-    return {tree, tree_td};
+    PipelineOptions hyper;
+    hyper.scheme = RegionScheme::Hyperblock;
+    hyper.model = MachineModel::wide4U();
+    return {tree, tree_td, hyper};
 }
 
 /** Peak live-heap growth of one compile, measured alone. */

@@ -797,6 +797,51 @@ TEST(MemschedBenchSchema, FrontierMeetsTheAcceptanceBar)
         << "committed memsched baseline pays too much makespan";
 }
 
+Json
+loadOooBenchHistory()
+{
+    std::ifstream in(TREEGION_OOO_BENCH_JSON);
+    EXPECT_TRUE(in.good()) << "missing " << TREEGION_OOO_BENCH_JSON;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return JsonParser(ss.str()).parse();
+}
+
+/** The backend configs throughput_ooo emits, in emission order. */
+const char *const kOooConfigNames[] = {
+    "vliw", "ooo-small", "ooo-wide",
+};
+
+TEST(OooBenchSchema, HistoryIsArrayOfV1Entries)
+{
+    const Json hist = loadOooBenchHistory();
+    ASSERT_EQ(hist.kind, Json::Kind::Arr);
+    ASSERT_FALSE(hist.arr.empty());
+    for (const Json &entry : hist.arr) {
+        ASSERT_EQ(entry.kind, Json::Kind::Obj);
+        EXPECT_EQ(entry["schema"].str, "treegion-ooo-bench/v1");
+        EXPECT_FALSE(entry["label"].str.empty());
+        EXPECT_GT(entry["bench_seed"].num, 0.0);
+        const Json &configs = entry["configs"];
+        ASSERT_EQ(configs.kind, Json::Kind::Arr);
+        ASSERT_EQ(configs.arr.size(), std::size(kOooConfigNames));
+        for (size_t i = 0; i < configs.arr.size(); ++i) {
+            const Json &c = configs.arr[i];
+            EXPECT_EQ(c["name"].str, kOooConfigNames[i]);
+            // Units: a cell is one simulated execution of one
+            // scheduled proxy on one input image; rates are per
+            // wall-clock second and must be self-consistent.
+            const double cells = c["cells"].num;
+            const double wall_s = c["wall_s"].num;
+            EXPECT_GT(cells, 0.0);
+            EXPECT_GT(wall_s, 0.0);
+            EXPECT_NEAR(c["cells_per_s"].num, cells / wall_s,
+                        0.01 * cells / wall_s);
+            EXPECT_GT(c["mcycles_per_s"].num, 0.0);
+        }
+    }
+}
+
 TEST(ClusterBenchSchema, WarmScalingMeetsTheAcceptanceBar)
 {
     // The committed baseline must demonstrate >= 3x warm throughput

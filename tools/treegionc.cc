@@ -20,6 +20,13 @@
  *   --print-schedule                  print every region schedule
  *   --print-dot                       dot graph of CFG + regions
  *   --run SEED                        simulate on a seeded input
+ *   --sim-backend vliw|ooo            machine model for --run: the
+ *                                     in-order VLIW simulator
+ *                                     (default) or the out-of-order
+ *                                     Tomasulo/ROB backend
+ *   --ooo-config NAME                 OoO configuration for
+ *                                     --sim-backend ooo: "ooo-small"
+ *                                     (default) or "ooo-wide"
  *   --stats                           region + scheduling statistics
  *   --remarks FILE                    write decision remarks as JSON
  *                                     lines ("-" = stdout); works in
@@ -64,6 +71,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "ooo/ooo_sim.h"
 #include "region/graphviz.h"
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
@@ -92,6 +100,8 @@ struct CliOptions
     bool stats = false;
     bool run = false;
     uint64_t run_seed = 1;
+    bool run_ooo = false;             ///< --sim-backend ooo
+    ooo::OooConfig ooo_config;        ///< --ooo-config
     size_t jobs = 1;
     uint64_t mem_budget_bytes = 0;
     bool all_functions = false;
@@ -389,6 +399,24 @@ main(int argc, char **argv)
         } else if (arg == "--run") {
             cli.run = true;
             cli.run_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sim-backend") {
+            const std::string backend = next();
+            if (backend == "ooo") {
+                cli.run_ooo = true;
+            } else if (backend != "vliw") {
+                std::fprintf(stderr,
+                             "--sim-backend expects vliw or ooo, "
+                             "got %s\n", backend.c_str());
+                return 2;
+            }
+        } else if (arg == "--ooo-config") {
+            const std::string name = next();
+            if (!ooo::parseOooConfig(name, cli.ooo_config)) {
+                std::fprintf(stderr, "unknown --ooo-config %s "
+                             "(try ooo-small or ooo-wide)\n",
+                             name.c_str());
+                return 2;
+            }
         } else if (arg == "-j" || arg == "--jobs") {
             const long long jobs = std::atoll(next());
             if (jobs < 0 || jobs > 1024) {
@@ -595,13 +623,35 @@ main(int argc, char **argv)
                          report.detail.c_str());
             return finish(1);
         }
-        const auto run =
-            vliw::runScheduled(fn, result.schedule, memory);
-        std::printf("run(seed=%llu): result %lld in %llu cycles "
-                    "(sequential match confirmed)\n",
-                    static_cast<unsigned long long>(cli.run_seed),
-                    static_cast<long long>(run.ret_value),
-                    static_cast<unsigned long long>(run.cycles));
+        if (cli.run_ooo) {
+            const auto ooo_run = ooo::runOutOfOrder(
+                fn, result.schedule, memory, cli.ooo_config);
+            if (!ooo_run.arch.completed) {
+                std::fprintf(stderr,
+                             "ooo run hit its cycle limit\n");
+                return finish(1);
+            }
+            std::printf(
+                "run(seed=%llu, %s): result %lld in %llu cycles "
+                "(IPC %.2f, avg window %.1f, %llu rename stalls; "
+                "sequential match confirmed)\n",
+                static_cast<unsigned long long>(cli.run_seed),
+                cli.ooo_config.name.c_str(),
+                static_cast<long long>(ooo_run.arch.ret_value),
+                static_cast<unsigned long long>(ooo_run.arch.cycles),
+                ooo_run.stats.ipc(ooo_run.arch.cycles),
+                ooo_run.stats.avgWindowOccupancy(ooo_run.arch.cycles),
+                static_cast<unsigned long long>(
+                    ooo_run.stats.rename_stalls));
+        } else {
+            const auto run =
+                vliw::runScheduled(fn, result.schedule, memory);
+            std::printf("run(seed=%llu): result %lld in %llu cycles "
+                        "(sequential match confirmed)\n",
+                        static_cast<unsigned long long>(cli.run_seed),
+                        static_cast<long long>(run.ret_value),
+                        static_cast<unsigned long long>(run.cycles));
+        }
     }
     return finish(sched_problems.empty() ? 0 : 1);
 }
