@@ -32,6 +32,12 @@
  *   ./throughput_cluster [--clients N] [--keys N] [--warm-rounds N]
  *                        [--delay-ms N] [--replica-threads N]
  *                        [--label STR] [--json FILE]
+ *                        [--trace-sample R]
+ *
+ * --trace-sample R turns on distributed tracing at sampling rate R
+ * for every in-process replica and client, the way a production farm
+ * would run it; CI's perf-smoke compares the warm throughput at 1%
+ * sampling against the untraced run to gate the observer's cost.
  */
 
 #include <chrono>
@@ -47,6 +53,7 @@
 
 #include "service/ring.h"
 #include "service/server.h"
+#include "support/spans.h"
 #include "support/stats.h"
 #include "support/string_utils.h"
 
@@ -271,6 +278,7 @@ main(int argc, char **argv)
     size_t replica_threads = 2;
     std::string label = "local";
     std::string json_path;
+    double trace_sample = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -296,15 +304,27 @@ main(int argc, char **argv)
             label = next();
         else if (arg == "--json")
             json_path = next();
+        else if (arg == "--trace-sample")
+            trace_sample = std::atof(next());
         else {
             std::fprintf(
                 stderr,
                 "usage: %s [--clients N] [--keys N] "
                 "[--warm-rounds N] [--delay-ms N] "
-                "[--replica-threads N] [--label STR] [--json FILE]\n",
+                "[--replica-threads N] [--label STR] [--json FILE] "
+                "[--trace-sample R]\n",
                 argv[0]);
             return 2;
         }
+    }
+
+    if (trace_sample > 0.0) {
+        // One shared in-process collector stands in for every
+        // party's --trace-spans sink; spans stay in the bounded
+        // buffer (we measure recording cost, not file IO).
+        support::SpanCollector::instance().configure(trace_sample);
+        std::printf("distributed tracing on, sample rate %g\n",
+                    trace_sample);
     }
 
     std::printf("cluster throughput: %zu clients, %zu keys, "
@@ -333,6 +353,11 @@ main(int argc, char **argv)
         if (warm2.reqs_per_s > warm.reqs_per_s)
             warm = warm2;
         stopCluster(cluster);
+        // Drop buffered spans between configs: a saturated buffer
+        // records cheaper than a filling one, which would flatter
+        // the later configs.
+        if (trace_sample > 0.0)
+            support::SpanCollector::instance().clear();
 
         for (const auto *phase : {&cold, &warm}) {
             const bool is_cold = phase == &cold;

@@ -11,6 +11,7 @@
 
 #include "analysis/liveness.h"
 #include "sched/mem_estimate.h"
+#include "support/flightrec.h"
 #include "support/logging.h"
 #include "support/memstat.h"
 #include "support/string_utils.h"
@@ -295,6 +296,12 @@ runOneJob(const PipelineJob &job)
     support::TraceScope span("job", "driver");
     span.arg("label",
              job.label.empty() ? job.fn->name() : job.label);
+    // If this job never returns, the flight recorder's dump shows
+    // which function each worker was compiling when the process died.
+    support::flightrec::note("job",
+                             (job.label.empty() ? job.fn->name()
+                                                : job.label)
+                                 .c_str());
     // The stream is installed only around this job's pipeline run on
     // this worker thread, so every emitted remark belongs to exactly
     // this job whatever the pool interleaving.

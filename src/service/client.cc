@@ -11,7 +11,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "support/spans.h"
 #include "support/string_utils.h"
+#include "support/trace.h"
 
 namespace treegion::service {
 
@@ -64,7 +66,7 @@ Client::connectUnix(const std::string &path, std::string *error)
         ::close(fd);
         return nullptr;
     }
-    return std::unique_ptr<Client>(new Client(fd));
+    return std::unique_ptr<Client>(new Client(fd, path));
 }
 
 std::unique_ptr<Client>
@@ -99,7 +101,8 @@ Client::connectTcp(const std::string &host, int port,
         ::close(fd);
         return nullptr;
     }
-    return std::unique_ptr<Client>(new Client(fd));
+    return std::unique_ptr<Client>(
+        new Client(fd, support::strprintf("%s:%d", host.c_str(), port)));
 }
 
 Client::~Client()
@@ -111,13 +114,28 @@ Client::~Client()
 bool
 Client::call(const Request &req, Response *resp, std::string *error)
 {
+    support::SpanScope span("call",
+                            support::SpanScope::Root::IfEnabled);
+    const Request *send = &req;
+    Request traced;
+    if (span.live()) {
+        span.arg("server", address_).arg("verb", req.verb);
+        if (req.trace_id.empty()) {
+            traced = req;
+            const support::SpanContext &ctx = span.context();
+            traced.trace_id =
+                support::traceIdHex(ctx.trace_hi, ctx.trace_lo);
+            traced.parent_span = support::spanIdHex(ctx.span);
+            send = &traced;
+        }
+    }
     // A failed write may still have an answer waiting: a server
     // rejecting an oversized frame responds without reading the
     // whole payload, so our write can die on EPIPE while the
     // rejection sits in the receive buffer. Read before giving up.
     std::string write_error;
     const bool wrote =
-        writeFrame(fd_, encodeRequest(req), &write_error);
+        writeFrame(fd_, encodeRequest(*send), &write_error);
     std::string payload;
     const FrameStatus st =
         readFrame(fd_, &payload, max_frame_bytes, error);
@@ -128,9 +146,67 @@ Client::call(const Request &req, Response *resp, std::string *error)
             else if (error->empty())
                 *error = "connection closed by server";
         }
+        span.arg("status", "transport-error");
         return false;
     }
-    return parseResponse(payload, *resp, error);
+    if (!parseResponse(payload, *resp, error)) {
+        span.arg("status", "parse-error");
+        return false;
+    }
+    span.arg("status", resp->status);
+    if (resp->cached)
+        span.arg("cached", static_cast<int64_t>(1));
+    return true;
+}
+
+bool
+Client::syncClock(std::string *error)
+{
+    support::SpanCollector &collector =
+        support::SpanCollector::instance();
+    if (!collector.enabled())
+        return true;
+    Request ping;
+    ping.verb = "ping";
+    Response resp;
+    const int64_t t0 = support::epochUs();
+    if (!call(ping, &resp, error))
+        return false;
+    const int64_t t1 = support::epochUs();
+    if (resp.server_time_us == 0)
+        return true; // pre-`time-us` server: nothing to align
+    // NTP-style: assume the reply clock sample sits at the midpoint
+    // of the round trip, so the error is bounded by rtt/2.
+    const int64_t offset = resp.server_time_us - (t0 + t1) / 2;
+    support::TraceSpan s;
+    s.trace_hi = support::mintSpanId();
+    s.trace_lo = support::mintSpanId();
+    s.span = support::mintSpanId();
+    s.parent = 0;
+    s.name = "clock-sync";
+    s.service = collector.service();
+    s.tid = support::TraceCollector::currentThreadId();
+    s.start_us = t0;
+    s.dur_us = t1 - t0;
+    auto strArg = [](const char *key, std::string value) {
+        support::SpanArg a;
+        a.key = key;
+        a.type = support::SpanArg::Type::Str;
+        a.s = std::move(value);
+        return a;
+    };
+    auto intArg = [](const char *key, int64_t value) {
+        support::SpanArg a;
+        a.key = key;
+        a.type = support::SpanArg::Type::Int;
+        a.i = value;
+        return a;
+    };
+    s.args.push_back(strArg("member", address_));
+    s.args.push_back(intArg("offset_us", offset));
+    s.args.push_back(intArg("rtt_us", t1 - t0));
+    collector.record(std::move(s));
+    return true;
 }
 
 } // namespace treegion::service

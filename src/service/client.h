@@ -49,16 +49,42 @@ class Client
      * @return false and set @p error on a transport failure (the
      * server answering "rejected" etc. is still a true return — look
      * at @p resp->status).
+     *
+     * Tracing: when span collection is enabled (support/spans.h) the
+     * call is recorded as a "call" span — a child of the ambient
+     * context when one is installed, else the root of a fresh trace —
+     * and, when sampled, the trace context is injected into the
+     * request's `trace-id`/`parent-span` headers so the server's
+     * spans join the same tree. Failed attempts are recorded too
+     * (status arg "transport-error"), which is how merged traces
+     * show the cost of retries.
      */
     bool call(const Request &req, Response *resp, std::string *error);
+
+    /**
+     * Estimate this server's clock offset by timing one ping against
+     * the `time-us` wall clock it reports, and record the estimate as
+     * a root "clock-sync" span (args: member, offset_us, rtt_us) for
+     * `treegion-report --trace-merge` to align files with. No-op
+     * (returning true) when span collection is disabled or the
+     * server predates `time-us`.
+     */
+    bool syncClock(std::string *error);
+
+    /** The address this client connected to (as given). */
+    const std::string &address() const { return address_; }
 
     /** Frame size limit applied to responses (server default). */
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
   private:
-    explicit Client(int fd) : fd_(fd) {}
+    Client(int fd, std::string address)
+        : fd_(fd), address_(std::move(address))
+    {
+    }
 
     int fd_;
+    std::string address_;
 };
 
 } // namespace treegion::service

@@ -231,6 +231,10 @@ encodeRequest(const Request &req)
         os << "want-schedule: 1\n";
     if (req.no_cache)
         os << "no-cache: 1\n";
+    if (!req.trace_id.empty())
+        os << "trace-id: " << req.trace_id << '\n';
+    if (!req.parent_span.empty())
+        os << "parent-span: " << req.parent_span << '\n';
     os << "profile: " << (req.profile ? 1 : 0) << '\n'
        << "profile-seed: " << req.profile_seed << '\n'
        << "profile-runs: " << req.profile_runs << '\n'
@@ -266,6 +270,10 @@ parseRequest(const std::string &payload, Request &out,
             out.want_schedule = value != "0";
         else if (key == "no-cache")
             out.no_cache = value != "0";
+        else if (key == "trace-id")
+            out.trace_id = value;
+        else if (key == "parent-span")
+            out.parent_span = value;
         else if (key == "profile")
             out.profile = value != "0";
         else if (key == "profile-seed")
@@ -292,6 +300,8 @@ encodeResponse(const Response &resp)
         os << "error: " << resp.error << '\n';
     if (resp.retry_after_ms != 0)
         os << "retry-after-ms: " << resp.retry_after_ms << '\n';
+    if (resp.server_time_us != 0)
+        os << "time-us: " << resp.server_time_us << '\n';
     os << "cached: " << (resp.cached ? 1 : 0) << '\n'
        << support::strprintf("compile-ms: %.3f\n", resp.compile_ms)
        << '\n'
@@ -318,6 +328,8 @@ parseResponse(const std::string &payload, Response &out,
             out.error = value;
         else if (key == "retry-after-ms")
             out.retry_after_ms = std::atoll(value.c_str());
+        else if (key == "time-us")
+            out.server_time_us = std::atoll(value.c_str());
         else if (key == "cached")
             out.cached = value != "0";
         else if (key == "compile-ms")

@@ -86,6 +86,16 @@ struct Request
     bool profile = true;
     uint64_t profile_seed = 42;
     int profile_runs = 20;
+    /**
+     * Distributed-tracing context (support/spans.h), forwarded as
+     * `trace-id` / `parent-span` headers when non-empty: the 32-hex
+     * trace id this request belongs to and the 16-hex id of the
+     * caller's span. Old servers ignore the headers (unknown keys
+     * are skipped); trace fields are deliberately NOT part of
+     * configFingerprint(), so tracing never perturbs cache keys.
+     */
+    std::string trace_id;
+    std::string parent_span;
     /** The .tir module (body). Required for "compile". */
     std::string module_text;
 
@@ -120,6 +130,15 @@ struct Response
     int64_t retry_after_ms = 0;  ///< hint when rejected
     bool cached = false;         ///< body replayed from the cache
     double compile_ms = 0.0;     ///< server-side pipeline wall time
+    /**
+     * Server wall clock (microseconds since the Unix epoch) sampled
+     * while answering — non-zero on "ping" responses. Clients use it
+     * to estimate the clock offset to each replica (NTP-style: the
+     * server time is compared against the midpoint of the request's
+     * send/receive times), which is how `treegion-report
+     * --trace-merge` aligns span files from different hosts.
+     */
+    int64_t server_time_us = 0;
     /** Result report ("compile"), stats JSON ("stats"), or empty. */
     std::string body;
 };

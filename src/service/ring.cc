@@ -5,6 +5,7 @@
 #include "ir/parser.h"
 #include "support/hash.h"
 #include "support/logging.h"
+#include "support/spans.h"
 #include "support/string_utils.h"
 
 namespace treegion::service {
@@ -145,6 +146,14 @@ ClusterClient::callRouted(const CacheKey &key, bool by_key,
                           const Request &req, Response *resp,
                           std::string *error)
 {
+    // The whole routed request is one span; each attempt below adds
+    // a child "call" span (Client::call), so a merged trace shows
+    // the failed attempt next to the retry that succeeded.
+    support::SpanScope span("client-request",
+                            support::SpanScope::Root::IfEnabled);
+    if (span.live())
+        span.arg("verb", req.verb);
+
     // Each retry routes on the ring of survivors, so a request can
     // visit at most one member per death — bounded by cluster size.
     std::string last_error = "no cluster member reachable";
@@ -154,6 +163,15 @@ ClusterClient::callRouted(const CacheKey &key, bool by_key,
         const size_t index = static_cast<size_t>(
             std::find(members_.begin(), members_.end(), addr) -
             members_.begin());
+        const int64_t attempt_start = support::epochUs();
+        auto recordFailed = [&](const std::string &member) {
+            MemberLedger &led = ledger_[member];
+            led.failed_attempts += 1;
+            led.failed_ms +=
+                static_cast<double>(support::epochUs() -
+                                    attempt_start) /
+                1000.0;
+        };
 
         auto it = conns_.find(addr);
         if (it == conns_.end()) {
@@ -161,10 +179,18 @@ ClusterClient::callRouted(const CacheKey &key, bool by_key,
             auto conn = Client::connect(addr, &connect_error);
             if (!conn) {
                 last_error = addr + ": " + connect_error;
+                recordFailed(addr);
                 markDead(index);
                 continue;
             }
             conn->max_frame_bytes = max_frame_bytes;
+            // First contact with this member while tracing: estimate
+            // its clock offset so --trace-merge can align its spans
+            // (best-effort; an old server just lacks `time-us`).
+            if (support::SpanCollector::instance().enabled()) {
+                std::string sync_error;
+                conn->syncClock(&sync_error);
+            }
             it = conns_.emplace(addr, std::move(conn)).first;
         }
 
@@ -187,11 +213,13 @@ ClusterClient::callRouted(const CacheKey &key, bool by_key,
                 }
                 if (!ok) {
                     last_error = addr + ": " + call_error;
+                    recordFailed(addr);
                     markDead(index);
                     continue;
                 }
             } else {
                 last_error = addr + ": " + reconnect_error;
+                recordFailed(addr);
                 markDead(index);
                 continue;
             }
@@ -202,6 +230,7 @@ ClusterClient::callRouted(const CacheKey &key, bool by_key,
             // The ledger still records the observed response.
             MemberLedger &led = ledger_[addr];
             led.calls += 1;
+            recordFailed(addr);
             markDead(index);
             continue;
         }
@@ -214,10 +243,14 @@ ClusterClient::callRouted(const CacheKey &key, bool by_key,
                 led.cached += 1;
         }
         last_member_ = addr;
+        if (span.live())
+            span.arg("member", addr).arg("status", resp->status);
         return true;
     }
     if (error)
         *error = last_error;
+    if (span.live())
+        span.arg("status", "unreachable");
     return false;
 }
 

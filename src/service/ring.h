@@ -102,6 +102,12 @@ class ClusterClient
         uint64_t ok = 0;         ///< status "ok"
         uint64_t cached = 0;     ///< ok with cached=1
         uint64_t transport_errors = 0;  ///< failed sends/reads
+        /** Attempts that ended in a mark-dead reroute, and the wall
+         * time they burned before failing — the visible price of a
+         * retry (merged traces show the same cost as per-attempt
+         * "call" spans with status "transport-error"). */
+        uint64_t failed_attempts = 0;
+        double failed_ms = 0.0;
     };
 
     explicit ClusterClient(std::vector<std::string> members);

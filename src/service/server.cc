@@ -22,8 +22,11 @@
 #include "sched/mem_estimate.h"
 #include "sched/pipeline.h"
 #include "sched/schedule_verifier.h"
+#include "support/build_info.h"
+#include "support/flightrec.h"
 #include "support/logging.h"
 #include "support/remarks.h"
+#include "support/spans.h"
 #include "support/string_utils.h"
 #include "support/trace.h"
 #include "workloads/profiler.h"
@@ -153,8 +156,34 @@ compileBody(const ir::Function &fn, size_t mem_words,
 } // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_bytes)
+    : options_(std::move(options)),
+      span_service_(options_.self_address.empty()
+                        ? "treegiond"
+                        : options_.self_address),
+      cache_(options_.cache_bytes)
 {
+}
+
+/**
+ * Parse the propagated `trace-id`/`parent-span` headers of @p req
+ * into a sampled context stamped with @p service. Invalid (so every
+ * span site stays inert) when either header is absent or malformed —
+ * unsampled traces propagate nothing, so presence means sampled.
+ */
+static support::SpanContext
+incomingTraceContext(const Request &req, const std::string &service)
+{
+    support::SpanContext ctx;
+    if (!req.trace_id.empty() &&
+        support::parseTraceIdHex(req.trace_id, &ctx.trace_hi,
+                                 &ctx.trace_lo) &&
+        support::parseSpanIdHex(req.parent_span, &ctx.span)) {
+        ctx.sampled = true;
+        ctx.service = service.c_str();
+    } else {
+        ctx = support::SpanContext{};
+    }
+    return ctx;
 }
 
 Server::~Server()
@@ -294,6 +323,12 @@ Server::start(std::string *error)
 
     if (!options_.trace_path.empty())
         support::TraceCollector::instance().setEnabled(true);
+    if (!options_.span_path.empty())
+        support::SpanCollector::instance().configure(
+            options_.span_sample);
+    if (!options_.flightrec_path.empty())
+        support::flightrec::setDumpPath(
+            options_.flightrec_path.c_str());
 
     pool_ = std::make_unique<support::ThreadPool>(options_.threads);
     started_.store(true);
@@ -673,6 +708,10 @@ Server::handleInline(const Request &req)
 {
     Response resp;
     if (req.verb == "ping") {
+        // The wall-clock sample lets clients estimate this server's
+        // clock offset (Client::syncClock) so --trace-merge can
+        // align span files from different hosts.
+        resp.server_time_us = support::epochUs();
         resp.body = "pong\n";
     } else if (req.verb == "stats") {
         resp.body = statsJson();
@@ -681,10 +720,19 @@ Server::handleInline(const Request &req)
         // routed elsewhere, or the ring rebalanced) and offers the
         // result. Insertion is idempotent and the payload is as
         // trustworthy as the peer, which shares our binary.
+        const support::SpanContextScope ctx_scope(
+            incomingTraceContext(req, span_service_));
+        support::SpanScope span("fill-apply",
+                                support::SpanScope::Root::No,
+                                span_service_.c_str());
         CacheKey key;
         if (!parseCacheKeyHex(req.fill_key, &key))
             return makeError(status::kError,
                              "bad fill-key '" + req.fill_key + "'");
+        if (span.live()) {
+            metrics_.add("spans_fill");
+            span.arg("key", req.fill_key);
+        }
         metrics_.add("fills_received");
         if (options_.cache_bytes > 0) {
             cache_.insert(key, req.module_text);
@@ -740,8 +788,13 @@ Server::dispatchCompile(Conn &conn, uint64_t seq, Request req)
         metrics_.add("mem_queued");
         ++conn.inflight;
         jobs_inflight_.fetch_add(1);
-        mem_parked_.push_back(ParkedCompile{
-            conn.id, seq, enqueue_ms, projected, std::move(req)});
+        const int64_t park_start_us =
+            support::SpanCollector::instance().enabled()
+                ? support::epochUs()
+                : 0;
+        mem_parked_.push_back(
+            ParkedCompile{conn.id, seq, enqueue_ms, projected,
+                          park_start_us, std::move(req)});
         return;
     }
 
@@ -790,7 +843,8 @@ Server::memFits(uint64_t projected) const
 
 bool
 Server::submitCompile(Conn &conn, uint64_t seq, int64_t enqueue_ms,
-                      uint64_t projected, Request &&req, bool counted)
+                      uint64_t projected, Request &&req, bool counted,
+                      int64_t park_start_us, int64_t park_end_us)
 {
     size_t admitted = admitted_.load();
     do {
@@ -809,6 +863,7 @@ Server::submitCompile(Conn &conn, uint64_t seq, int64_t enqueue_ms,
     }
     const uint64_t conn_id = conn.id;
     pool_->submit([this, conn_id, seq, enqueue_ms, projected,
+                   park_start_us, park_end_us,
                    req = std::move(req)]() mutable {
         if (options_.debug_queue_delay_ms > 0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(
@@ -817,6 +872,32 @@ Server::submitCompile(Conn &conn, uint64_t seq, int64_t enqueue_ms,
         const int64_t waited_ms = nowMs() - enqueue_ms;
         metrics_.observe("queue_wait_ms",
                          static_cast<double>(waited_ms));
+        support::flightrec::note("compile",
+                                 req.function.empty()
+                                     ? "<first-fn>"
+                                     : req.function.c_str(),
+                                 seq, projected);
+
+        // Join the caller's trace when the request carried one;
+        // otherwise root a fresh server-local trace (sampled per
+        // span_sample). Everything below — the pipeline stages'
+        // TraceScopes, cache lookups, fill sends — nests under this
+        // span through the ambient context.
+        const support::SpanContextScope ctx_scope(
+            incomingTraceContext(req, span_service_));
+        support::SpanScope root("request",
+                                support::SpanScope::Root::IfEnabled,
+                                span_service_.c_str());
+        if (root.live()) {
+            metrics_.add("spans_compile");
+            root.arg("verb", req.verb);
+            const int64_t now_us = support::epochUs();
+            support::noteSpan(root.context(), "queue-wait",
+                              now_us - waited_ms * 1000, now_us);
+            if (park_start_us > 0 && park_end_us > park_start_us)
+                support::noteSpan(root.context(), "mem-gate-park",
+                                  park_start_us, park_end_us);
+        }
 
         Response resp;
         if (req.deadline_ms > 0 && waited_ms > req.deadline_ms) {
@@ -835,11 +916,22 @@ Server::submitCompile(Conn &conn, uint64_t seq, int64_t enqueue_ms,
         metrics_.add(statusCounterName(resp.status));
         metrics_.observe("request_ms",
                          static_cast<double>(nowMs() - enqueue_ms));
+        if (root.live())
+            root.arg("status", resp.status);
 
+        Completion done{conn_id, seq, encodeResponse(resp),
+                        projected, support::SpanContext{}, 0};
+        if (root.live()) {
+            // Close the request span before handing off: the recorded
+            // interval should end when the response leaves this
+            // worker, not when the lambda finishes tearing down.
+            root.finish();
+            done.trace = root.context();
+            done.posted_us = support::epochUs();
+        }
         {
             std::lock_guard<std::mutex> lock(completions_mutex_);
-            completions_.push_back(Completion{
-                conn_id, seq, encodeResponse(resp), projected});
+            completions_.push_back(std::move(done));
         }
         jobs_inflight_.fetch_sub(1);
         const char byte = 'w';
@@ -862,6 +954,10 @@ Server::admitParked()
         [](const ParkedCompile &a, const ParkedCompile &b) {
             return a.projected > b.projected;
         });
+    const int64_t unpark_us =
+        support::SpanCollector::instance().enabled()
+            ? support::epochUs()
+            : 0;
     for (size_t i = 0; i < mem_parked_.size();) {
         ParkedCompile &parked = mem_parked_[i];
         auto it = conns_.find(parked.conn_id);
@@ -876,7 +972,8 @@ Server::admitParked()
         if (memFits(parked.projected) &&
             submitCompile(*it->second, parked.seq, parked.enqueue_ms,
                           parked.projected, std::move(parked.req),
-                          /*counted=*/true)) {
+                          /*counted=*/true, parked.park_start_us,
+                          unpark_us)) {
             mem_parked_.erase(mem_parked_.begin() + i);
         } else {
             ++i;
@@ -911,6 +1008,11 @@ Server::drainCompletions()
         auto again = conns_.find(done.conn_id);
         if (again != conns_.end())
             flushWrites(*again->second);
+        // Completion-post to write-queued (and flushed as far as the
+        // kernel allowed), under the request's own span.
+        if (done.trace.valid() && done.trace.sampled)
+            support::noteSpan(done.trace, "response-write",
+                              done.posted_us, support::epochUs());
     }
     if (!mem_parked_.empty())
         admitParked();
@@ -979,7 +1081,11 @@ Server::flushWrites(Conn &conn)
 Response
 Server::compileNow(const Request &req)
 {
-    support::TraceScope span("request", "service");
+    // Dual-emitting scope: a "compile" event in the process-local
+    // Chrome trace and, when the request's trace is sampled, a
+    // "compile" span under the "request" root (the pipeline stages'
+    // own TraceScopes nest below it the same way).
+    support::TraceScope span("compile", "service");
 
     // Warm fast path: byte-identical resubmissions (the steady state
     // of a farm recompiling an unchanged tree) skip parse + verify +
@@ -1003,8 +1109,16 @@ Server::compileNow(const Request &req)
             }
         }
         if (aliased) {
-            if (std::optional<std::string> hit =
-                    cache_.lookup(canonical)) {
+            std::optional<std::string> hit;
+            {
+                support::SpanScope lookup("cache-lookup");
+                hit = cache_.lookup(canonical);
+                if (lookup.live())
+                    lookup.arg("alias", static_cast<int64_t>(1))
+                        .arg("hit",
+                             static_cast<int64_t>(hit ? 1 : 0));
+            }
+            if (hit) {
                 if (!cluster_.empty()) {
                     metrics_.add(cluster_.ownerIndex(canonical) ==
                                          self_index_
@@ -1082,7 +1196,15 @@ Server::compileNow(const Request &req)
 
     const bool use_cache = options_.cache_bytes > 0 && !req.no_cache;
     if (use_cache) {
-        if (std::optional<std::string> hit = cache_.lookup(key)) {
+        std::optional<std::string> looked_up;
+        {
+            support::SpanScope lookup("cache-lookup");
+            looked_up = cache_.lookup(key);
+            if (lookup.live())
+                lookup.arg("hit", static_cast<int64_t>(
+                                      looked_up ? 1 : 0));
+        }
+        if (std::optional<std::string> hit = std::move(looked_up)) {
             Response resp;
             resp.cached = true;
             resp.body = std::move(*hit);
@@ -1140,6 +1262,12 @@ Server::forwardFill(size_t owner_index, const CacheKey &key,
     if (peer_dead_[owner_index].load())
         return;
     const std::string &addr = options_.peers[owner_index];
+    // Child of the ambient "compile" span; Client::call underneath
+    // adds its own "call" child and propagates the trace to the
+    // owner, whose "fill-apply" completes the cross-replica tree.
+    support::SpanScope span("fill-send");
+    if (span.live())
+        span.arg("peer", addr).arg("key", key.str());
     Request fill;
     fill.verb = "fill";
     fill.fill_key = key.str();
@@ -1152,11 +1280,14 @@ Server::forwardFill(size_t owner_index, const CacheKey &key,
         resp.status != status::kOk) {
         // Best effort: a dead peer is skipped from now on (it
         // rejoins with an empty cache on restart anyway).
+        support::flightrec::note("fill-fail", addr.c_str());
         metrics_.add("fills_failed");
         peer_dead_[owner_index].store(true);
+        span.arg("ok", static_cast<int64_t>(0));
         return;
     }
     metrics_.add("fills_sent");
+    span.arg("ok", static_cast<int64_t>(1));
 }
 
 int64_t
@@ -1202,6 +1333,9 @@ Server::statsJson() const
               "{\"self\":\"%s\",\"peers\":%zu,\"alive_peers\":%zu}",
               options_.self_address.c_str(), cluster_.size(),
               alive_peers)
+       << ",\"build_info\":" << support::buildInfoJson()
+       << support::strprintf(",\"uptime_s\":%.3f",
+                             support::uptimeSeconds())
        << ",\"server\":"
        << support::strprintf(
               "{\"threads\":%zu,\"queue_limit\":%zu,"
@@ -1243,7 +1377,7 @@ Server::waitUntilStopped()
         loop_thread_.join();
 
     pool_.reset();  // finishes anything still queued
-    flushOnDrain();
+    flushTelemetry();
 
     for (int *pipe_fds : {stop_pipe_, wake_pipe_}) {
         for (int i = 0; i < 2; ++i) {
@@ -1259,7 +1393,7 @@ Server::waitUntilStopped()
 }
 
 void
-Server::flushOnDrain()
+Server::flushTelemetry()
 {
     if (!options_.metrics_path.empty()) {
         if (FILE *f = std::fopen(options_.metrics_path.c_str(), "w")) {
@@ -1278,6 +1412,22 @@ Server::flushOnDrain()
             TG_INFO("cannot write trace to %s\n",
                     options_.trace_path.c_str());
         collector.clear();
+    }
+    if (!options_.span_path.empty()) {
+        auto &spans = support::SpanCollector::instance();
+        if (spans.dropped() > 0)
+            TG_INFO("span buffer overflowed: %llu spans dropped\n",
+                    static_cast<unsigned long long>(
+                        spans.dropped()));
+        if (!spans.writeJsonl(options_.span_path))
+            TG_INFO("cannot write spans to %s\n",
+                    options_.span_path.c_str());
+    }
+    if (!options_.flightrec_path.empty()) {
+        // The same artifact a crash would leave: on a clean drain
+        // the ring dumps to the configured path (once — a panic or
+        // fatal signal that beat us here already wrote it).
+        support::flightrec::dumpConfigured();
     }
 }
 

@@ -68,6 +68,7 @@
 #include "service/protocol.h"
 #include "service/ring.h"
 #include "support/metrics.h"
+#include "support/spans.h"
 #include "support/thread_pool.h"
 
 namespace treegion::service {
@@ -142,6 +143,28 @@ struct ServerOptions
     int64_t debug_queue_delay_ms = 0;
 
     /**
+     * Write every recorded span (support/spans.h JSONL) here on
+     * drain; empty = do not enable span collection. Requests that
+     * arrive with `trace-id`/`parent-span` headers join the caller's
+     * trace; others root fresh server-local traces, sampled at
+     * span_sample.
+     */
+    std::string span_path;
+
+    /** Probability a locally rooted trace is sampled, in [0, 1].
+     * Propagated contexts keep their root's decision. */
+    double span_sample = 1.0;
+
+    /**
+     * Crash flight-recorder dump target (support/flightrec.h): set
+     * as the configured dump path at start, written by TG_PANIC /
+     * fatal-signal handlers and again on the drain path so a clean
+     * SIGTERM leaves the same post-mortem artifact a crash would.
+     * Empty = leave the recorder's dump target alone.
+     */
+    std::string flightrec_path;
+
+    /**
      * Peak-memory admission budget in bytes; 0 = no memory gate.
      * When set, every compile request's peak footprint is projected
      * from its module and options (sched/mem_estimate.h) before
@@ -197,6 +220,16 @@ class Server
      */
     std::string statsJson() const;
 
+    /**
+     * Flush buffered telemetry (metrics JSON, span JSONL, flight
+     * recorder) to the configured paths right now. Runs on the
+     * clean-drain path; also the daemon's TG_PANIC hook, so a
+     * panic on any thread leaves the same evidence a drain would.
+     * NOT async-signal-safe — fatal-signal handlers get only the
+     * flight recorder's write()-based dump.
+     */
+    void flushTelemetry();
+
   private:
     /** One nonblocking connection's state machine. */
     struct Conn
@@ -230,6 +263,11 @@ class Server
         std::string encoded;
         /** Memory reservation to release on delivery (0 = none). */
         uint64_t projected = 0;
+        /** The request's trace context (invalid = untraced): the
+         * loop thread records "response-write" under it. */
+        support::SpanContext trace;
+        /** epochUs when the pool posted the completion. */
+        int64_t posted_us = 0;
     };
 
     /** A compile parked by the memory gate, awaiting headroom. */
@@ -239,6 +277,8 @@ class Server
         uint64_t seq = 0;
         int64_t enqueue_ms = 0;   ///< original arrival time
         uint64_t projected = 0;   ///< projected peak footprint
+        /** epochUs when parked (0 = span collection off). */
+        int64_t park_start_us = 0;
         Request req;
     };
 
@@ -263,10 +303,14 @@ class Server
      * the compile to the pool. @return false untouched when the
      * queue is full. @p counted: the request already holds its
      * conn.inflight / jobs_inflight_ counts (parked re-admission).
+     * @p park_start_us/@p park_end_us: the memory-gate park window
+     * (epochUs) a re-admitted request waited through, 0/0 when it
+     * was never parked — recorded as a "mem-gate-park" span.
      */
     bool submitCompile(Conn &conn, uint64_t seq, int64_t enqueue_ms,
                        uint64_t projected, Request &&req,
-                       bool counted);
+                       bool counted, int64_t park_start_us = 0,
+                       int64_t park_end_us = 0);
     /** Re-admit parked compiles that now fit (loop thread). */
     void admitParked();
     void queueResponse(Conn &conn, uint64_t seq,
@@ -289,9 +333,14 @@ class Server
     /** Retry-after hint from the recent request latency. */
     int64_t retryAfterHintMs() const;
 
-    void flushOnDrain();
+
 
     ServerOptions options_;
+    /** `svc` stamp on this server's spans: self_address when
+     * clustered (so in-process multi-replica tests separate
+     * cleanly), else "treegiond". Fixed at construction — span
+     * contexts hold a pointer into it. */
+    std::string span_service_;
     CompileCache cache_;
     /**
      * Warm-path shortcut: raw (module text, fingerprint) key ->

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Build identification for telemetry: which exact binary produced a
+ * span file, a metrics dump or a bench JSON line. The git describe
+ * string and build type are baked in at configure time (CMake passes
+ * TG_GIT_DESCRIBE / TG_BUILD_TYPE as compile definitions of
+ * build_info.cc only, so touching the git head rebuilds one file);
+ * the compiler comes from __VERSION__.
+ */
+
+#ifndef TREEGION_SUPPORT_BUILD_INFO_H
+#define TREEGION_SUPPORT_BUILD_INFO_H
+
+#include <string>
+
+namespace treegion::support {
+
+/** `git describe --always --dirty` at configure time ("unknown"
+ * outside a work tree). */
+const char *buildGitDescribe();
+
+/** CMAKE_BUILD_TYPE the binary was configured with. */
+const char *buildType();
+
+/** Compiler banner (__VERSION__). */
+const char *buildCompiler();
+
+/**
+ * One JSON object (stable key order: git, compiler, build_type,
+ * span_schema, protocol) tying telemetry to an exact binary —
+ * embedded in /stats as the "build_info" block.
+ */
+std::string buildInfoJson();
+
+/** Seconds since this process initialized (static-init epoch). */
+double uptimeSeconds();
+
+} // namespace treegion::support
+
+#endif // TREEGION_SUPPORT_BUILD_INFO_H

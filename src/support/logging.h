@@ -39,6 +39,16 @@ LogLevel logLevel();
 void logPrintf(LogLevel level, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
+/**
+ * Install a hook that panicImpl runs after printing the panic
+ * message and before abort(). Long-lived processes use it to flush
+ * in-memory telemetry (flight recorder, spans, metrics) so a panic
+ * leaves evidence; it runs in normal (non-signal) context. Returns
+ * the previous hook. Pass nullptr to clear.
+ */
+using PanicHook = void (*)();
+PanicHook setPanicHook(PanicHook hook);
+
 /** Internal: report and abort. Use the panic() macro instead. */
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));

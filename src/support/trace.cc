@@ -161,6 +161,7 @@ TraceCollector::currentThreadId()
 }
 
 TraceScope::TraceScope(const char *name, const char *category)
+    : span_(name)
 {
     TraceCollector &collector = TraceCollector::instance();
     if (!collector.enabled())
@@ -175,6 +176,8 @@ TraceScope::TraceScope(const char *name, const char *category)
 TraceScope &
 TraceScope::arg(const char *key, std::string value)
 {
+    if (span_.live())
+        span_.arg(key, value);
     if (live_)
         event_.args.emplace_back(key, std::move(value));
     return *this;

@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/spans.h"
+
 namespace treegion::support {
 
 /** One completed span ("X" phase in the Chrome trace format). */
@@ -106,6 +108,13 @@ class TraceCollector
  * When the collector is disabled at construction time the scope is
  * inert (destruction records nothing even if tracing is enabled in
  * between, so event streams never contain torn spans).
+ *
+ * A TraceScope is also a distributed-tracing emission site: when the
+ * current thread carries a sampled SpanContext (a request being
+ * traced across the farm, see support/spans.h), the same interval is
+ * recorded as a child span of that context. With no ambient context
+ * the embedded SpanScope is inert, so local-only paths pay nothing
+ * extra.
  */
 class TraceScope
 {
@@ -125,6 +134,7 @@ class TraceScope
   private:
     bool live_ = false;  ///< collector was enabled at construction
     TraceEvent event_;
+    SpanScope span_;     ///< distributed twin (inert without ambient)
 };
 
 /**

@@ -25,7 +25,10 @@
 #include "analysis/liveness.h"
 #include "region/formation.h"
 #include "sched/list_scheduler.h"
+#include "support/flightrec.h"
 #include "support/metrics.h"
+#include "support/spans.h"
+#include "support/trace.h"
 #include "workloads/profiler.h"
 #include "workloads/synthetic.h"
 
@@ -93,6 +96,40 @@ TEST(AllocRegression, SteadyStateSchedulingIsHeapFree)
     EXPECT_EQ(replay_lengths, warm_lengths);
     for (const int length : warm_lengths)
         EXPECT_GT(length, 0);
+}
+
+/**
+ * The tracing observers are compiled into every binary; the claim
+ * that keeps them free is that DISABLED observers cost nothing on
+ * the hot path — no clock reads and, pinned here, no allocation.
+ * Inert TraceScope/SpanScope construction, ambient-context reads and
+ * flight-recorder notes must all run heap-free, or always-on
+ * instrumentation would break the arena steady-state property above.
+ */
+TEST(AllocRegression, DisabledTracingObserversAreHeapFree)
+{
+    auto &spans = support::SpanCollector::instance();
+    spans.setEnabled(false);
+    ASSERT_FALSE(spans.enabled());
+
+    uint64_t allocations;
+    {
+        tg_test::AllocGuard guard;
+        for (int i = 0; i < 256; ++i) {
+            support::TraceScope stage("schedule");
+            support::SpanScope child("cache-lookup");
+            support::SpanScope root(
+                "request", support::SpanScope::Root::IfEnabled);
+            child.arg("hit", int64_t{1});  // inert: must not buffer
+            support::noteSpan(support::currentSpanContext(),
+                              "queue-wait", 0, 1);
+            support::flightrec::note("probe", "steady-state",
+                                     static_cast<uint64_t>(i));
+        }
+        allocations = guard.allocations();
+    }
+    EXPECT_EQ(allocations, 0u)
+        << "disabled tracing observers allocated";
 }
 
 TEST(AllocRegression, ArenaMetricsReported)

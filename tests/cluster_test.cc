@@ -22,6 +22,7 @@
 #include "service/ring.h"
 #include "service/server.h"
 #include "support/hash.h"
+#include "support/spans.h"
 #include "support/string_utils.h"
 
 namespace treegion::service {
@@ -360,6 +361,118 @@ TEST_F(ClusterEndToEnd, ReplicaDeathReroutesAndLedgerReconciles)
                   client_calls + metrics.counter("fills_received"))
             << "replica " << i;
     }
+}
+
+/**
+ * The end-to-end distributed-tracing property the whole span
+ * subsystem exists for: one trace id follows a misrouted compile
+ * from the client through the non-owner replica into the fill it
+ * forwards to the owner, and the merged span set forms a single
+ * connected tree across all three parties. In-process replicas
+ * share the one SpanCollector singleton, so this sees every
+ * service's spans without any file plumbing.
+ */
+TEST_F(ClusterEndToEnd, TraceContextPropagatesAcrossFillForward)
+{
+    auto &collector = support::SpanCollector::instance();
+    collector.setEnabled(false);
+    collector.clear();
+    collector.configure(1.0);
+
+    const HashRing ring(peers_);
+    uint64_t seed = 2000;
+    while (ring.ownerIndex(requestRoutingKey(compileRequest(seed))) !=
+           0)
+        ++seed;
+    const Request req = compileRequest(seed);
+
+    // Misroute on purpose: send an owner-0 key straight to replica
+    // 1, forcing the compile there plus a fill RPC to replica 0.
+    std::string error;
+    auto direct = Client::connect(peers_[1], &error);
+    ASSERT_TRUE(direct) << error;
+    Response resp;
+    ASSERT_TRUE(direct->call(req, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, status::kOk) << resp.error;
+
+    // The response-write span is noted on the owner's event loop
+    // after the reply is already on the wire; give it a moment.
+    const auto pick = [](const std::vector<support::TraceSpan> &all,
+                         const char *name) {
+        std::vector<support::TraceSpan> out;
+        for (const auto &s : all) {
+            if (s.name == name)
+                out.push_back(s);
+        }
+        return out;
+    };
+    for (int i = 0;
+         i < 500 &&
+         pick(collector.snapshot(), "response-write").empty();
+         ++i)
+        ::usleep(10 * 1000);
+
+    const std::vector<support::TraceSpan> spans =
+        collector.snapshot();
+    collector.setEnabled(false);
+    collector.clear();
+    const auto named = [&](const char *name) {
+        return pick(spans, name);
+    };
+
+    const auto call = named("call");
+    const auto request = named("request");
+    const auto fill_send = named("fill-send");
+    const auto fill_apply = named("fill-apply");
+    // Exactly one client call, one server request, one fill hop.
+    ASSERT_EQ(call.size(), 2u);  // outer compile + inner fill RPC
+    ASSERT_EQ(request.size(), 1u);
+    ASSERT_EQ(fill_send.size(), 1u);
+    ASSERT_EQ(fill_apply.size(), 1u);
+    ASSERT_GE(named("compile").size(), 1u);
+    ASSERT_GE(named("queue-wait").size(), 1u);
+    ASSERT_GE(named("response-write").size(), 1u);
+
+    // One trace id across every span of every service.
+    for (const support::TraceSpan &s : spans) {
+        EXPECT_EQ(s.trace_hi, request[0].trace_hi) << s.name;
+        EXPECT_EQ(s.trace_lo, request[0].trace_lo) << s.name;
+    }
+
+    // Services: the request and the fill-send ran on the non-owner,
+    // the fill-apply on the owner.
+    EXPECT_EQ(request[0].service, peers_[1]);
+    EXPECT_EQ(fill_send[0].service, peers_[1]);
+    EXPECT_EQ(fill_apply[0].service, peers_[0]);
+
+    // Edges: client call -> server request -> ... -> fill-send ->
+    // fill RPC call -> fill-apply, one connected tree.
+    const support::TraceSpan &outer_call =
+        call[0].parent == 0 ? call[0] : call[1];
+    const support::TraceSpan &fill_call =
+        call[0].parent == 0 ? call[1] : call[0];
+    EXPECT_EQ(outer_call.parent, 0u);
+    EXPECT_EQ(request[0].parent, outer_call.span);
+    EXPECT_EQ(fill_call.parent, fill_send[0].span);
+    EXPECT_EQ(fill_apply[0].parent, fill_call.span);
+    // fill-send sits somewhere under the request span.
+    std::map<uint64_t, uint64_t> parent_of;
+    for (const support::TraceSpan &s : spans)
+        parent_of[s.span] = s.parent;
+    uint64_t walk = fill_send[0].span;
+    bool reached_request = false;
+    for (int depth = 0; depth < 16 && walk != 0; ++depth) {
+        if (walk == request[0].span) {
+            reached_request = true;
+            break;
+        }
+        walk = parent_of[walk];
+    }
+    EXPECT_TRUE(reached_request);
+
+    // The per-verb span counters fold into /stats.
+    EXPECT_EQ(servers_[1]->metrics().counter("spans_compile"), 1u);
+    EXPECT_EQ(servers_[0]->metrics().counter("spans_fill"), 1u);
 }
 
 } // namespace

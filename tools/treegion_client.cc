@@ -31,6 +31,13 @@
  *   --profile-seed S / --profile-runs N   training profile
  *   --ping                 health check (no input needed)
  *   --stats                fetch the /stats JSON (no input needed)
+ *   --trace-spans FILE     record this invocation's spans (the
+ *                          client-side "call"/"clock-sync" spans)
+ *                          and append them to FILE as
+ *                          treegion-span/v1 JSONL; the trace id is
+ *                          propagated to the server, so FILE merges
+ *                          with the replicas' --trace-spans files
+ *   --trace-sample R       sampling probability in [0,1] (default 1)
  *   --quiet                print only the response body
  *
  * Exit codes: 0 ok, 1 error/transport failure, 3 rejected
@@ -48,6 +55,7 @@
 
 #include "service/client.h"
 #include "service/ring.h"
+#include "support/spans.h"
 #include "support/string_utils.h"
 
 using namespace treegion;
@@ -86,6 +94,8 @@ main(int argc, char **argv)
     std::string server_addr;
     std::vector<std::string> cluster;
     std::string input;
+    std::string span_path;
+    double span_sample = 1.0;
     bool quiet = false;
     service::Request req;
 
@@ -122,6 +132,10 @@ main(int argc, char **argv)
             req.verb = "ping";
         } else if (arg == "--stats") {
             req.verb = "stats";
+        } else if (arg == "--trace-spans") {
+            span_path = next();
+        } else if (arg == "--trace-sample") {
+            span_sample = std::atof(next());
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -157,31 +171,64 @@ main(int argc, char **argv)
         }
     }
 
+    if (!span_path.empty()) {
+        auto &spans = support::SpanCollector::instance();
+        spans.setService("treegion-client");
+        spans.configure(span_sample);
+    }
+    // Appends (many invocations share one file) on every exit path,
+    // success or transport failure — failed attempts are spans too.
+    auto finish = [&](int rc) {
+        if (!span_path.empty() &&
+            !support::SpanCollector::instance().writeJsonl(
+                span_path, /*append=*/true))
+            std::fprintf(stderr, "cannot write spans to %s\n",
+                         span_path.c_str());
+        return rc;
+    };
+
     std::string error;
     service::Response resp;
     std::string served_by;
+    std::string failover_note;
     if (!cluster.empty()) {
         service::ClusterClient client(cluster);
         if (!client.call(req, &resp, &error)) {
             std::fprintf(stderr, "call: %s\n", error.c_str());
-            return 1;
+            return finish(1);
         }
         served_by = client.lastMember();
+        // Failovers are silent by design; make their price visible.
+        for (const auto &[addr, led] : client.ledger()) {
+            if (led.failed_attempts > 0)
+                failover_note += support::strprintf(
+                    "failed-attempts: %s n=%llu wasted-ms=%.1f\n",
+                    addr.c_str(),
+                    static_cast<unsigned long long>(
+                        led.failed_attempts),
+                    led.failed_ms);
+        }
     } else {
         auto client = service::Client::connect(server_addr, &error);
         if (!client) {
             std::fprintf(stderr, "connect: %s\n", error.c_str());
-            return 1;
+            return finish(1);
         }
+        // Direct path: estimate this server's clock offset so the
+        // merged trace can align our spans with its span file.
+        std::string sync_error;
+        client->syncClock(&sync_error);
         if (!client->call(req, &resp, &error)) {
             std::fprintf(stderr, "call: %s\n", error.c_str());
-            return 1;
+            return finish(1);
         }
     }
 
     if (!quiet) {
         if (!served_by.empty())
             std::fprintf(stderr, "member: %s\n", served_by.c_str());
+        if (!failover_note.empty())
+            std::fputs(failover_note.c_str(), stderr);
         std::fprintf(stderr, "status: %s%s%s\n", resp.status.c_str(),
                      resp.cached ? " (cached)" : "",
                      resp.error.empty()
@@ -195,5 +242,5 @@ main(int argc, char **argv)
                          resp.compile_ms);
     }
     std::fputs(resp.body.c_str(), stdout);
-    return statusExitCode(resp.status);
+    return finish(statusExitCode(resp.status));
 }

@@ -22,6 +22,11 @@
  *   --proxy-audit W      instead of fuzzing, run all oracles over
  *                        the SPECint95 proxies at issue width W
  *   --trace-json FILE    dump Chrome trace events to FILE
+ *   --flight-rec FILE    dump the crash flight recorder here when a
+ *                        worker panics or dies on a fatal signal —
+ *                        the last events of every thread, so a crash
+ *                        found by the campaign is diagnosable from
+ *                        the artifact alone
  *   --verbose            per-program progress
  *
  * Exit status: 0 when every cell passed, 1 on any oracle failure.
@@ -33,6 +38,8 @@
 #include <string>
 
 #include "fuzz/campaign.h"
+#include "support/flightrec.h"
+#include "support/logging.h"
 #include "support/trace.h"
 
 using namespace treegion;
@@ -76,6 +83,7 @@ main(int argc, char **argv)
 {
     fuzz::CampaignOptions opts;
     std::string trace_json;
+    std::string flightrec_path;
     int audit_width = 0;
 
     auto next = [&](int &i) -> const char * {
@@ -106,6 +114,8 @@ main(int argc, char **argv)
             audit_width = std::atoi(next(i));
         } else if (arg == "--trace-json") {
             trace_json = next(i);
+        } else if (arg == "--flight-rec") {
+            flightrec_path = next(i);
         } else if (arg == "--verbose") {
             opts.verbose = true;
         } else {
@@ -116,6 +126,11 @@ main(int argc, char **argv)
 
     if (!trace_json.empty())
         support::TraceCollector::instance().setEnabled(true);
+    if (!flightrec_path.empty()) {
+        support::flightrec::setDumpPath(flightrec_path.c_str());
+        support::flightrec::installCrashHandlers();
+        support::setPanicHook(&support::flightrec::dumpConfigured);
+    }
 
     int status = 0;
     if (audit_width > 0) {

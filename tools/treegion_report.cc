@@ -19,12 +19,27 @@
  *     (per-function multiset difference of canonical lines) and
  *     print what diverged — e.g. heuristic gw vs h, or -j1 vs -j8.
  *
+ *  4. --trace-merge F1 F2 ...: merge treegion-span/v1 JSONL files
+ *     from clients and replicas (each party's --trace-spans output)
+ *     into per-request trace trees. Replica clocks are aligned with
+ *     the "clock-sync" spans the clients record (one NTP-style ping
+ *     offset per member); the merged view prints each trace as an
+ *     indented tree plus a per-request critical-path breakdown
+ *     (network, queue-wait, mem-gate-park, cache-lookup, compile,
+ *     response-write, other). `--chrome FILE` additionally writes
+ *     one cross-replica Chrome trace (one pid per service);
+ *     `--check` turns schema violations, unresolvable parents and
+ *     compile calls without a server-side "request" child into a
+ *     nonzero exit — the CI gate for end-to-end trace propagation.
+ *
  * Usage:
  *   treegion-report [--scheme S] [--heuristic H] [--width N]
  *                   [--html FILE] [--remarks FILE] [--color]
  *                   <input.tir | --proxies>
  *   treegion-report --check remarks.jsonl
  *   treegion-report --diff a.jsonl b.jsonl [--limit N]
+ *   treegion-report --trace-merge f1.jsonl f2.jsonl ...
+ *                   [--check] [--chrome FILE] [--limit N]
  */
 
 #include <algorithm>
@@ -40,6 +55,7 @@
 #include "ir/parser.h"
 #include "sched/pipeline.h"
 #include "support/remarks.h"
+#include "support/spans.h"
 #include "support/string_utils.h"
 #include "support/trace.h"
 #include "workloads/profiler.h"
@@ -60,6 +76,10 @@ struct CliOptions
     std::string check_path;
     std::string diff_a, diff_b;
     size_t diff_limit = 50;
+    bool trace_merge = false;
+    std::vector<std::string> merge_paths;
+    bool merge_check = false;      ///< --check in trace-merge mode
+    std::string chrome_path;
 };
 
 int
@@ -69,8 +89,10 @@ usage(const char *argv0)
                  "usage: %s [options] <input.tir | --proxies>\n"
                  "       %s --check remarks.jsonl\n"
                  "       %s --diff a.jsonl b.jsonl [--limit N]\n"
+                 "       %s --trace-merge f1.jsonl f2.jsonl ...\n"
+                 "          [--check] [--chrome FILE] [--limit N]\n"
                  "see the file header or README for options\n",
-                 argv0, argv0, argv0);
+                 argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -211,6 +233,387 @@ runDiff(const CliOptions &cli)
                 "remarks)\n",
                 diverging, cli.diff_a.c_str(), lines_a.size(),
                 cli.diff_b.c_str(), lines_b.size());
+    return 0;
+}
+
+// ---- --trace-merge -------------------------------------------------
+
+const support::SpanArg *
+findArg(const support::TraceSpan &s, const char *key)
+{
+    for (const support::SpanArg &a : s.args) {
+        if (a.key == key)
+            return &a;
+    }
+    return nullptr;
+}
+
+std::string
+argText(const support::SpanArg &a)
+{
+    switch (a.type) {
+      case support::SpanArg::Type::Int:
+        return support::strprintf("%lld",
+                                  static_cast<long long>(a.i));
+      case support::SpanArg::Type::Float:
+        return support::strprintf("%g", a.f);
+      case support::SpanArg::Type::Str:
+        return a.s;
+    }
+    return "";
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += support::strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** One trace's spans, indexed for tree walking. */
+struct TraceTree
+{
+    std::vector<size_t> members;             ///< indices into spans
+    std::map<uint64_t, size_t> by_id;        ///< span id -> index
+    std::map<uint64_t, std::vector<size_t>> children;
+    std::vector<size_t> roots;               ///< parent unresolvable
+};
+
+/** Sum of dur_us over every descendant of @p node named @p name. */
+int64_t
+subtreeDuration(const std::vector<support::TraceSpan> &spans,
+                const TraceTree &tree, size_t node,
+                const std::string &name)
+{
+    int64_t total = 0;
+    const auto it = tree.children.find(spans[node].span);
+    if (it == tree.children.end())
+        return 0;
+    for (const size_t child : it->second) {
+        if (spans[child].name == name)
+            total += spans[child].dur_us;
+        total += subtreeDuration(spans, tree, child, name);
+    }
+    return total;
+}
+
+void
+printSpanLine(const support::TraceSpan &s, int depth, int64_t origin_us)
+{
+    std::string args;
+    for (const support::SpanArg &a : s.args)
+        args += " " + a.key + "=" + argText(a);
+    std::printf("  %*s%-16s %+9.3fms %9.3fms  svc=%s%s\n", depth * 2,
+                "", s.name.c_str(),
+                static_cast<double>(s.start_us - origin_us) / 1000.0,
+                static_cast<double>(s.dur_us) / 1000.0,
+                s.service.c_str(), args.c_str());
+}
+
+void
+printTraceTree(const std::vector<support::TraceSpan> &spans,
+               const TraceTree &tree, size_t node, int depth,
+               int64_t origin_us)
+{
+    printSpanLine(spans[node], depth, origin_us);
+    const auto it = tree.children.find(spans[node].span);
+    if (it == tree.children.end())
+        return;
+    for (const size_t child : it->second)
+        printTraceTree(spans, tree, child, depth + 1, origin_us);
+}
+
+/**
+ * Where a compile request's wall time went, from the client's seat:
+ * everything the server accounted for, itemized, plus "network" (the
+ * client-observed call minus the server-side request and write
+ * spans, i.e. transport + protocol framing on both ends) and
+ * "other" (the server-side request minus its itemized children).
+ * cache-lookup is shown but not subtracted — it already happens
+ * inside "compile". "response-write" is a sibling interval after the
+ * request span (worker hand-off to the event loop), so it is part of
+ * what the client would otherwise blame on the network.
+ */
+void
+printBreakdown(const std::vector<support::TraceSpan> &spans,
+               const TraceTree &tree, size_t call, size_t request)
+{
+    const int64_t queue =
+        subtreeDuration(spans, tree, request, "queue-wait");
+    const int64_t park =
+        subtreeDuration(spans, tree, request, "mem-gate-park");
+    const int64_t lookup =
+        subtreeDuration(spans, tree, request, "cache-lookup");
+    const int64_t compile =
+        subtreeDuration(spans, tree, request, "compile");
+    const int64_t write =
+        subtreeDuration(spans, tree, request, "response-write");
+    // Both remainders are clamped at zero: response-write covers a
+    // little server-side bookkeeping after the client already has the
+    // bytes, so the subtraction can land a few microseconds negative
+    // on a loopback socket. That is interval overlap, not time.
+    const int64_t network = std::max<int64_t>(
+        0, spans[call].dur_us - spans[request].dur_us - write);
+    const int64_t other = std::max<int64_t>(
+        0, spans[request].dur_us - queue - park - compile);
+    std::printf("  critical path: network %.3fms | queue-wait %.3fms"
+                " | mem-gate-park %.3fms | cache-lookup %.3fms"
+                " | compile %.3fms | response-write %.3fms"
+                " | other %.3fms\n",
+                network / 1000.0, queue / 1000.0, park / 1000.0,
+                lookup / 1000.0, compile / 1000.0, write / 1000.0,
+                other / 1000.0);
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<support::TraceSpan> &spans)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    // One Chrome "process" per service, so each replica and each
+    // client gets its own swimlane group in the viewer.
+    std::map<std::string, int> pids;
+    for (const support::TraceSpan &s : spans)
+        pids.emplace(s.service, static_cast<int>(pids.size()) + 1);
+    out << "[";
+    bool first = true;
+    for (const auto &[svc, pid] : pids) {
+        out << (first ? "" : ",") << "\n"
+            << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+            << pid << ",\"tid\":0,\"args\":{\"name\":\""
+            << jsonEscape(svc) << "\"}}";
+        first = false;
+    }
+    for (const support::TraceSpan &s : spans) {
+        out << (first ? "" : ",") << "\n"
+            << "{\"name\":\"" << jsonEscape(s.name)
+            << "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" << s.start_us
+            << ",\"dur\":" << s.dur_us
+            << ",\"pid\":" << pids[s.service] << ",\"tid\":" << s.tid
+            << ",\"args\":{\"trace\":\""
+            << support::traceIdHex(s.trace_hi, s.trace_lo)
+            << "\",\"span\":\"" << support::spanIdHex(s.span) << "\"";
+        for (const support::SpanArg &a : s.args) {
+            out << ",\"" << jsonEscape(a.key) << "\":\""
+                << jsonEscape(argText(a)) << "\"";
+        }
+        out << "}}";
+        first = false;
+    }
+    out << "\n]\n";
+    return out.good();
+}
+
+int
+runTraceMerge(const CliOptions &cli)
+{
+    if (cli.merge_paths.empty()) {
+        std::fprintf(stderr, "--trace-merge needs span files\n");
+        return 2;
+    }
+    std::vector<support::TraceSpan> spans;
+    std::string error;
+    for (const std::string &path : cli.merge_paths) {
+        std::vector<std::string> lines;
+        if (!readLines(path, lines, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
+        }
+        for (size_t i = 0; i < lines.size(); ++i) {
+            support::TraceSpan s;
+            if (!support::parseSpanJson(lines[i], s, &error)) {
+                std::fprintf(stderr, "%s: line %zu: %s\n",
+                             path.c_str(), i + 1, error.c_str());
+                return 1;
+            }
+            spans.push_back(std::move(s));
+        }
+    }
+
+    // Clock alignment: each client-recorded "clock-sync" span holds
+    // one NTP-style estimate of (member clock - client clock) over a
+    // ping round trip. Keep the tightest (smallest rtt) estimate per
+    // member and shift that member's spans onto the client timeline.
+    // The member address is the replica's --self-address, which is
+    // also its span svc stamp, so the join key is the svc string.
+    std::map<std::string, std::pair<int64_t, int64_t>> offsets;
+    for (const support::TraceSpan &s : spans) {
+        if (s.name != "clock-sync")
+            continue;
+        const support::SpanArg *member = findArg(s, "member");
+        const support::SpanArg *offset = findArg(s, "offset_us");
+        const support::SpanArg *rtt = findArg(s, "rtt_us");
+        if (!member || !offset || !rtt)
+            continue;
+        const auto it = offsets.find(member->s);
+        if (it == offsets.end() || rtt->i < it->second.second)
+            offsets[member->s] = {offset->i, rtt->i};
+    }
+    for (support::TraceSpan &s : spans) {
+        const auto it = offsets.find(s.service);
+        if (it != offsets.end())
+            s.start_us -= it->second.first;
+    }
+
+    // Group into traces and index each as a tree. Spans within one
+    // parent are ordered by adjusted start time.
+    std::map<std::string, TraceTree> traces;
+    std::map<std::string, size_t> services;
+    for (size_t i = 0; i < spans.size(); ++i) {
+        traces[support::traceIdHex(spans[i].trace_hi,
+                                   spans[i].trace_lo)]
+            .members.push_back(i);
+        ++services[spans[i].service];
+    }
+    size_t problems = 0;
+    for (auto &[trace_id, tree] : traces) {
+        for (const size_t i : tree.members) {
+            if (!tree.by_id.emplace(spans[i].span, i).second) {
+                std::fprintf(stderr,
+                             "trace %s: duplicate span id %s\n",
+                             trace_id.c_str(),
+                             support::spanIdHex(spans[i].span)
+                                 .c_str());
+                ++problems;
+            }
+        }
+        for (const size_t i : tree.members) {
+            const uint64_t parent = spans[i].parent;
+            if (parent == 0) {
+                tree.roots.push_back(i);
+            } else if (!tree.by_id.count(parent)) {
+                std::fprintf(
+                    stderr,
+                    "trace %s: span %s (%s) has unresolved parent "
+                    "%s\n",
+                    trace_id.c_str(),
+                    support::spanIdHex(spans[i].span).c_str(),
+                    spans[i].name.c_str(),
+                    support::spanIdHex(parent).c_str());
+                ++problems;
+                tree.roots.push_back(i);  // render it anyway
+            } else {
+                tree.children[parent].push_back(i);
+            }
+        }
+        const auto by_start = [&](size_t a, size_t b) {
+            return spans[a].start_us != spans[b].start_us
+                       ? spans[a].start_us < spans[b].start_us
+                       : spans[a].span < spans[b].span;
+        };
+        std::sort(tree.roots.begin(), tree.roots.end(), by_start);
+        for (auto &[_, kids] : tree.children)
+            std::sort(kids.begin(), kids.end(), by_start);
+    }
+
+    // Every ok compile call the client saw must have produced a
+    // server-side "request" span in the merged set; a missing child
+    // means a replica's spans were lost (or propagation broke).
+    size_t compile_calls = 0;
+    for (const auto &[trace_id, tree] : traces) {
+        for (const size_t i : tree.members) {
+            if (spans[i].name != "call")
+                continue;
+            const support::SpanArg *verb = findArg(spans[i], "verb");
+            const support::SpanArg *status =
+                findArg(spans[i], "status");
+            if (!verb || verb->s != "compile" || !status ||
+                status->s != "ok")
+                continue;
+            ++compile_calls;
+            bool has_request = false;
+            const auto it = tree.children.find(spans[i].span);
+            if (it != tree.children.end()) {
+                for (const size_t child : it->second)
+                    has_request |= spans[child].name == "request";
+            }
+            if (!has_request) {
+                std::fprintf(stderr,
+                             "trace %s: compile call %s has no "
+                             "server-side request span\n",
+                             trace_id.c_str(),
+                             support::spanIdHex(spans[i].span)
+                                 .c_str());
+                ++problems;
+            }
+        }
+    }
+
+    // Render: one tree per trace, client-initiated traces only
+    // (pure clock-sync traces are calibration, not requests).
+    size_t shown = 0, skipped = 0;
+    for (const auto &[trace_id, tree] : traces) {
+        const bool calibration =
+            tree.members.size() == 1 &&
+            spans[tree.members.front()].name == "clock-sync";
+        if (calibration)
+            continue;
+        if (shown >= cli.diff_limit) {
+            ++skipped;
+            continue;
+        }
+        ++shown;
+        int64_t origin_us = spans[tree.members.front()].start_us;
+        for (const size_t i : tree.members)
+            origin_us = std::min(origin_us, spans[i].start_us);
+        std::printf("trace %s (%zu spans)\n", trace_id.c_str(),
+                    tree.members.size());
+        for (const size_t root : tree.roots)
+            printTraceTree(spans, tree, root, 0, origin_us);
+        for (const size_t i : tree.members) {
+            if (spans[i].name != "call")
+                continue;
+            const auto it = tree.children.find(spans[i].span);
+            if (it == tree.children.end())
+                continue;
+            for (const size_t child : it->second) {
+                if (spans[child].name == "request")
+                    printBreakdown(spans, tree, i, child);
+            }
+        }
+    }
+    if (skipped > 0)
+        std::printf("... %zu more traces (raise with --limit)\n",
+                    skipped);
+
+    std::string svc_note;
+    for (const auto &[svc, count] : services)
+        svc_note += support::strprintf(" %s=%zu", svc.c_str(), count);
+    std::printf("%zu spans, %zu traces, %zu compile calls, %zu clock "
+                "offsets; spans per service:%s\n",
+                spans.size(), traces.size(), compile_calls,
+                offsets.size(), svc_note.c_str());
+
+    if (!cli.chrome_path.empty()) {
+        if (!writeChromeTrace(cli.chrome_path, spans)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         cli.chrome_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "Chrome trace written to %s\n",
+                     cli.chrome_path.c_str());
+    }
+    if (cli.merge_check && problems > 0) {
+        std::fprintf(stderr, "--check: %zu problems\n", problems);
+        return 1;
+    }
+    if (cli.merge_check)
+        std::printf("--check: all span trees complete\n");
     return 0;
 }
 
@@ -540,7 +943,16 @@ main(int argc, char **argv)
         } else if (arg == "--color") {
             cli.force_color = true;
         } else if (arg == "--check") {
-            cli.check_path = next();
+            // In trace-merge mode --check is a flag (strictness
+            // gate); elsewhere it takes the remarks file to check.
+            if (cli.trace_merge)
+                cli.merge_check = true;
+            else
+                cli.check_path = next();
+        } else if (arg == "--trace-merge") {
+            cli.trace_merge = true;
+        } else if (arg == "--chrome") {
+            cli.chrome_path = next();
         } else if (arg == "--diff") {
             cli.diff_a = next();
             cli.diff_b = next();
@@ -552,6 +964,8 @@ main(int argc, char **argv)
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return usage(argv[0]);
+        } else if (cli.trace_merge) {
+            cli.merge_paths.push_back(arg);
         } else if (cli.input.empty()) {
             cli.input = arg;
         } else {
@@ -559,6 +973,8 @@ main(int argc, char **argv)
         }
     }
 
+    if (cli.trace_merge)
+        return runTraceMerge(cli);
     if (!cli.check_path.empty())
         return runCheck(cli.check_path);
     if (!cli.diff_a.empty())

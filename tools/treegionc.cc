@@ -43,6 +43,10 @@
  *   --sweep              compile every scheme x heuristic config
  *   --trace-json FILE    dump per-stage Chrome trace events to FILE
  *                        (load in chrome://tracing or perfetto)
+ *   --flight-rec FILE    crash flight recorder: dump each thread's
+ *                        ring of recent events (job starts, stage
+ *                        entries) to FILE as JSONL on TG_PANIC or a
+ *                        fatal signal
  *
  * Batch results are printed in deterministic input order — function
  * order x configuration order — whatever the thread count.
@@ -54,6 +58,13 @@
  *                        list "A,B,C" routes over the cluster's
  *                        consistent-hash ring with failover)
  *   --no-cache           ask the server to bypass its compile cache
+ *   --trace-spans FILE   with --server: record the client-side spans
+ *                        of this invocation ("call", "clock-sync")
+ *                        and append them to FILE as treegion-span/v1
+ *                        JSONL; the trace id propagates to the
+ *                        replicas so their --trace-spans files merge
+ *                        into one tree (treegion-report --trace-merge)
+ *   --trace-sample R     sampling probability in [0,1] (default 1)
  * The pipeline options above are encoded and shipped with the
  * module; the server replies with the same stats (plus schedules
  * under --print-schedule), served from its content-addressed cache
@@ -77,6 +88,9 @@
 #include "sched/schedule_verifier.h"
 #include "service/client.h"
 #include "service/ring.h"
+#include "support/flightrec.h"
+#include "support/logging.h"
+#include "support/spans.h"
 #include "support/string_utils.h"
 #include "support/remarks.h"
 #include "support/trace.h"
@@ -110,6 +124,9 @@ struct CliOptions
     std::string remarks_path;
     std::string server;
     bool no_cache = false;
+    std::string span_path;
+    double span_sample = 1.0;
+    std::string flightrec_path;
 };
 
 /** Write @p jsonl to @p path ("-" = stdout). @return false on error. */
@@ -166,6 +183,11 @@ runOnServer(const CliOptions &cli, const std::string &source)
                          cli.server.c_str(), error.c_str());
             return 1;
         }
+        // When tracing, sample the server's clock first so merged
+        // traces can align this file with the server's (no-op when
+        // span collection is off).
+        std::string sync_error;
+        client->syncClock(&sync_error);
         if (!client->call(req, &resp, &error)) {
             std::fprintf(stderr, "server call failed: %s\n",
                          error.c_str());
@@ -441,6 +463,12 @@ main(int argc, char **argv)
             cli.server = next();
         } else if (arg == "--no-cache") {
             cli.no_cache = true;
+        } else if (arg == "--trace-spans") {
+            cli.span_path = next();
+        } else if (arg == "--trace-sample") {
+            cli.span_sample = std::atof(next());
+        } else if (arg == "--flight-rec") {
+            cli.flightrec_path = next();
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -457,6 +485,11 @@ main(int argc, char **argv)
 
     if (!cli.trace_json.empty())
         support::TraceCollector::instance().setEnabled(true);
+    if (!cli.flightrec_path.empty()) {
+        support::flightrec::setDumpPath(cli.flightrec_path.c_str());
+        support::flightrec::installCrashHandlers();
+        support::setPanicHook(&support::flightrec::dumpConfigured);
+    }
 
     // ---- Read and parse.
     std::string source;
@@ -476,8 +509,20 @@ main(int argc, char **argv)
         source = buffer.str();
     }
     // ---- Remote mode: the server does the rest.
-    if (!cli.server.empty())
-        return runOnServer(cli, source);
+    if (!cli.server.empty()) {
+        if (!cli.span_path.empty()) {
+            auto &spans = support::SpanCollector::instance();
+            spans.setService("treegionc");
+            spans.configure(cli.span_sample);
+        }
+        const int rc = runOnServer(cli, source);
+        if (!cli.span_path.empty() &&
+            !support::SpanCollector::instance().writeJsonl(
+                cli.span_path, /*append=*/true))
+            std::fprintf(stderr, "cannot write spans to %s\n",
+                         cli.span_path.c_str());
+        return rc;
+    }
 
     std::string error;
     std::unique_ptr<ir::Module> mod;

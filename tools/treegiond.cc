@@ -32,6 +32,18 @@
  *   --metrics-json FILE    write the /stats JSON here on drain
  *   --trace-json FILE      enable tracing; write one Chrome trace
  *                          per drain here
+ *   --trace-spans FILE     enable distributed tracing; write the
+ *                          span JSONL (treegion-span/v1) here on
+ *                          drain — merge files from every replica
+ *                          and client with `treegion-report
+ *                          --trace-merge`
+ *   --trace-sample R       probability a locally rooted trace is
+ *                          sampled, in [0,1] (default 1; requests
+ *                          carrying trace-id headers keep their
+ *                          root's decision)
+ *   --flight-rec FILE      crash flight recorder: dump the last
+ *                          events of every thread here on panic,
+ *                          fatal signal, or clean drain
  *   --peers A,B,C          cluster membership: every replica's
  *                          client-visible address, identical on all
  *                          replicas (the consistent-hash ring is
@@ -55,6 +67,8 @@
 #include <string>
 
 #include "service/server.h"
+#include "support/flightrec.h"
+#include "support/logging.h"
 #include "support/string_utils.h"
 
 using namespace treegion;
@@ -69,6 +83,22 @@ handleSignal(int)
     // requestStop is async-signal-safe (atomic store + pipe write).
     if (g_server)
         g_server->requestStop();
+}
+
+/**
+ * TG_PANIC hook: runs in normal (non-signal) context, so the full
+ * telemetry flush is allowed — metrics JSON, span JSONL and the
+ * flight-recorder rings all land on their configured paths before
+ * the abort. Fatal signals take only the flight recorder's
+ * async-signal-safe dump (installCrashHandlers).
+ */
+void
+panicFlush()
+{
+    if (service::Server *server = g_server)
+        server->flushTelemetry();
+    else
+        support::flightrec::dumpConfigured();
 }
 
 int
@@ -128,6 +158,12 @@ main(int argc, char **argv)
             options.metrics_path = next();
         } else if (arg == "--trace-json") {
             options.trace_path = next();
+        } else if (arg == "--trace-spans") {
+            options.span_path = next();
+        } else if (arg == "--trace-sample") {
+            options.span_sample = std::atof(next());
+        } else if (arg == "--flight-rec") {
+            options.flightrec_path = next();
         } else if (arg == "--peers") {
             options.peers = support::splitString(next(), ',');
         } else if (arg == "--self") {
@@ -143,6 +179,18 @@ main(int argc, char **argv)
     }
     if (options.unix_path.empty() && options.tcp_port < 0)
         return usage(argv[0]);
+
+    if (!options.flightrec_path.empty()) {
+        // Arm the flight recorder before any worker can crash: the
+        // ring dumps on TG_PANIC (hook), fatal signals (handlers),
+        // and the clean drain path (Server::flushTelemetry).
+        support::flightrec::setDumpPath(
+            options.flightrec_path.c_str());
+        support::flightrec::installCrashHandlers();
+    }
+    // Once the server exists the hook upgrades to the full flush
+    // (metrics + spans + rings); until then it is the ring dump.
+    support::setPanicHook(&panicFlush);
 
     service::Server server(std::move(options));
     std::string error;
